@@ -1,0 +1,29 @@
+//! Figure 3 bench: the sequential lower bound and perfect upper bound —
+//! one simulation per scheme per class representative.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fetchmech::isa::{Layout, LayoutOptions};
+use fetchmech::pipeline::MachineModel;
+use fetchmech::workloads::{suite, InputId};
+use fetchmech::{simulate, SchemeKind};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig03_bounds");
+    g.sample_size(10);
+    let machine = MachineModel::p14();
+    for name in ["compress", "tomcatv"] {
+        let w = suite::benchmark(name).expect("known benchmark");
+        let layout =
+            Layout::natural(&w.program, LayoutOptions::new(machine.block_bytes)).expect("layout");
+        let trace: Vec<_> = w.executor(&layout, InputId::TEST, 10_000).collect();
+        for scheme in [SchemeKind::Sequential, SchemeKind::Perfect] {
+            g.bench_function(format!("{name}/{scheme}"), |b| {
+                b.iter(|| simulate(&machine, scheme, trace.clone().into_iter()).ipc())
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Figure 9 bench: one full pipeline simulation per fetch scheme.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fetchmech::isa::{Layout, LayoutOptions};
+use fetchmech::pipeline::MachineModel;
+use fetchmech::workloads::{suite, InputId};
+use fetchmech::{simulate, SchemeKind};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig09_schemes");
+    g.sample_size(10);
+    for machine in [MachineModel::p14(), MachineModel::p112()] {
+        let w = suite::benchmark("espresso").expect("known benchmark");
+        let layout =
+            Layout::natural(&w.program, LayoutOptions::new(machine.block_bytes)).expect("layout");
+        let trace: Vec<_> = w.executor(&layout, InputId::TEST, 10_000).collect();
+        for scheme in SchemeKind::ALL {
+            g.bench_function(format!("{}/{scheme}", machine.name), |b| {
+                b.iter(|| simulate(&machine, scheme, trace.clone().into_iter()).ipc())
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

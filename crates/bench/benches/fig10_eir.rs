@@ -1,0 +1,26 @@
+//! Figure 10 bench: fetch-only EIR measurement per scheme.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fetchmech::isa::{Layout, LayoutOptions};
+use fetchmech::pipeline::MachineModel;
+use fetchmech::sim::measure_eir;
+use fetchmech::workloads::{suite, InputId};
+use fetchmech::SchemeKind;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_eir");
+    let machine = MachineModel::p112();
+    let w = suite::benchmark("gcc").expect("known benchmark");
+    let layout =
+        Layout::natural(&w.program, LayoutOptions::new(machine.block_bytes)).expect("layout");
+    let trace: Vec<_> = w.executor(&layout, InputId::TEST, 10_000).collect();
+    for scheme in SchemeKind::ALL {
+        g.bench_function(scheme.name(), |b| {
+            b.iter(|| measure_eir(&machine, scheme, trace.clone().into_iter()).eir())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Figure 11 bench: the collapsing buffer at two- versus three-cycle fetch
+//! misprediction penalties.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fetchmech::isa::{Layout, LayoutOptions};
+use fetchmech::pipeline::MachineModel;
+use fetchmech::workloads::{suite, InputId};
+use fetchmech::{simulate, SchemeKind};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_shifter");
+    g.sample_size(10);
+    let w = suite::benchmark("li").expect("known benchmark");
+    for penalty in [2u32, 3] {
+        let machine = MachineModel::p112().with_fetch_penalty(penalty);
+        let layout =
+            Layout::natural(&w.program, LayoutOptions::new(machine.block_bytes)).expect("layout");
+        let trace: Vec<_> = w.executor(&layout, InputId::TEST, 10_000).collect();
+        g.bench_function(format!("collapsing/penalty{penalty}"), |b| {
+            b.iter(|| {
+                simulate(&machine, SchemeKind::CollapsingBuffer, trace.clone().into_iter()).ipc()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

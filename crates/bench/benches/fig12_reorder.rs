@@ -1,0 +1,33 @@
+//! Figure 12 bench: the profile -> trace-select -> reorder pipeline and a
+//! simulation on the reordered layout.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fetchmech::compiler::{reorder, Profile, TraceSelectConfig};
+use fetchmech::pipeline::MachineModel;
+use fetchmech::workloads::{suite, InputId, Workload};
+use fetchmech::{simulate, SchemeKind};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_reorder");
+    g.sample_size(10);
+    let w = suite::benchmark("compress").expect("known benchmark");
+    g.bench_function("profile", |b| {
+        b.iter(|| Profile::collect(&w, &InputId::PROFILE, 2_000))
+    });
+    let profile = Profile::collect(&w, &InputId::PROFILE, 5_000);
+    g.bench_function("reorder", |b| {
+        b.iter(|| reorder(&w.program, &profile, &TraceSelectConfig::default()))
+    });
+    let r = reorder(&w.program, &profile, &TraceSelectConfig::default());
+    let machine = MachineModel::p14();
+    let layout = r.layout(machine.block_bytes).expect("layout");
+    let rw = Workload { spec: w.spec.clone(), program: r.program.clone(), behaviors: w.behaviors.clone() };
+    let trace: Vec<_> = rw.executor(&layout, InputId::TEST, 10_000).collect();
+    g.bench_function("simulate-reordered", |b| {
+        b.iter(|| simulate(&machine, SchemeKind::InterleavedSequential, trace.clone().into_iter()).ipc())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

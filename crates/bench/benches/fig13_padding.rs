@@ -1,0 +1,33 @@
+//! Figure 13 bench: the sequential scheme under the padding layouts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fetchmech::compiler::{layout_pad_all, reorder, Profile, TraceSelectConfig};
+use fetchmech::pipeline::MachineModel;
+use fetchmech::workloads::{suite, InputId, Workload};
+use fetchmech::{simulate, SchemeKind};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13_padding");
+    g.sample_size(10);
+    let machine = MachineModel::p14();
+    let w = suite::benchmark("flex").expect("known benchmark");
+    let profile = Profile::collect(&w, &InputId::PROFILE, 5_000);
+    let r = reorder(&w.program, &profile, &TraceSelectConfig::default());
+
+    let pad_all = layout_pad_all(&w.program, machine.block_bytes).expect("layout");
+    let trace_all: Vec<_> = w.executor(&pad_all, InputId::TEST, 10_000).collect();
+    g.bench_function("sequential/pad-all", |b| {
+        b.iter(|| simulate(&machine, SchemeKind::Sequential, trace_all.clone().into_iter()).ipc())
+    });
+
+    let pad_trace = r.layout_pad_trace(machine.block_bytes).expect("layout");
+    let rw = Workload { spec: w.spec.clone(), program: r.program.clone(), behaviors: w.behaviors.clone() };
+    let trace_tr: Vec<_> = rw.executor(&pad_trace, InputId::TEST, 10_000).collect();
+    g.bench_function("sequential/pad-trace", |b| {
+        b.iter(|| simulate(&machine, SchemeKind::Sequential, trace_tr.clone().into_iter()).ipc())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

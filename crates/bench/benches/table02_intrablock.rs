@@ -1,0 +1,27 @@
+//! Table 2 bench: dynamic intra-block branch classification across the
+//! three block geometries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fetchmech::isa::{Layout, LayoutOptions, TraceStats};
+use fetchmech::workloads::{suite, InputId};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table02_intrablock");
+    let w = suite::benchmark("eqntott").expect("known benchmark");
+    for bs in [16u64, 32, 64] {
+        let layout = Layout::natural(&w.program, LayoutOptions::new(bs)).expect("layout");
+        g.bench_function(format!("eqntott/{bs}B"), |b| {
+            b.iter(|| {
+                let mut stats = TraceStats::new();
+                for i in w.executor(&layout, InputId::TEST, 10_000) {
+                    stats.observe(&i, bs);
+                }
+                stats.intra_block_pct()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

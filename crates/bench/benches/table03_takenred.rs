@@ -1,0 +1,34 @@
+//! Table 3 bench: taken-branch accounting on natural vs reordered layouts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fetchmech::compiler::{reorder, Profile, TraceSelectConfig};
+use fetchmech::isa::{Layout, LayoutOptions};
+use fetchmech::workloads::{suite, InputId, Workload};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table03_takenred");
+    let w = suite::benchmark("sc").expect("known benchmark");
+    let natural = Layout::natural(&w.program, LayoutOptions::new(16)).expect("layout");
+    let profile = Profile::collect(&w, &InputId::PROFILE, 5_000);
+    let r = reorder(&w.program, &profile, &TraceSelectConfig::default());
+    let reordered = r.layout(16).expect("layout");
+    let rw = Workload { spec: w.spec.clone(), program: r.program.clone(), behaviors: w.behaviors.clone() };
+    g.bench_function("natural", |b| {
+        b.iter(|| {
+            w.executor(&natural, InputId::TEST, 10_000)
+                .filter(fetchmech::isa::DynInst::is_taken_control)
+                .count()
+        })
+    });
+    g.bench_function("reordered", |b| {
+        b.iter(|| {
+            rw.executor(&reordered, InputId::TEST, 10_000)
+                .filter(fetchmech::isa::DynInst::is_taken_control)
+                .count()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

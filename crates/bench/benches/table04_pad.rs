@@ -1,0 +1,24 @@
+//! Table 4 bench: pad-all / pad-trace layout expansion (pure layout work).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fetchmech::compiler::{expansion, layout_pad_all, reorder, Profile, TraceSelectConfig};
+use fetchmech::workloads::{suite, InputId};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table04_pad");
+    let w = suite::benchmark("bison").expect("known benchmark");
+    let profile = Profile::collect(&w, &InputId::PROFILE, 5_000);
+    let r = reorder(&w.program, &profile, &TraceSelectConfig::default());
+    for bs in [16u64, 64] {
+        g.bench_function(format!("pad-all/{bs}B"), |b| {
+            b.iter(|| layout_pad_all(&w.program, bs).expect("layout").stats().pad_pct())
+        });
+        g.bench_function(format!("expansion/{bs}B"), |b| {
+            b.iter(|| expansion(&w.program, &r, bs).expect("layouts"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! # fetchmech-bench
+//!
+//! The benchmark harness for the fetchmech reproduction:
+//!
+//! * the [`report`](../report/index.html) binary (`cargo run -p
+//!   fetchmech-bench --bin report`) regenerates every table and figure of
+//!   the paper as text, and
+//! * the criterion benches (`cargo bench -p fetchmech-bench`) time each
+//!   experiment's building blocks on reduced configurations — one bench
+//!   group per table/figure.
+
+#![warn(missing_docs)]
+
+use fetchmech::experiments::{ExpConfig, Lab};
+
+/// A reduced configuration for criterion benches: long enough to exercise
+/// every code path, short enough to keep `cargo bench` minutes-scale.
+#[must_use]
+pub fn bench_config() -> ExpConfig {
+    ExpConfig { trace_len: 10_000, profile_len: 5_000 }
+}
+
+/// A lab on the bench configuration.
+#[must_use]
+pub fn bench_lab() -> Lab {
+    Lab::new(bench_config())
+}

@@ -1,0 +1,446 @@
+//! The branch-target buffer (see the crate docs for the paper context).
+
+use std::fmt;
+
+use fetchmech_isa::{Addr, WORD_BYTES};
+
+/// Configuration of the branch-target buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BtbConfig {
+    /// Number of entries (direct-mapped).
+    pub entries: usize,
+    /// Saturating-counter width in bits (the paper uses 2).
+    pub counter_bits: u8,
+    /// Interleave factor — the number of instructions per cache block whose
+    /// predictions must be readable in one cycle. Purely structural here
+    /// (a monolithic array with per-word indexing behaves identically), but
+    /// validated and reported for fidelity.
+    pub interleave: u32,
+}
+
+impl BtbConfig {
+    /// The paper's configuration for the given cache-block size in bytes:
+    /// 1024 entries, 2-bit counters, interleave = instructions per block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_bytes` is not a multiple of the word size.
+    #[must_use]
+    pub fn for_block_bytes(block_bytes: u64) -> Self {
+        assert!(block_bytes.is_multiple_of(WORD_BYTES), "block size must be whole words");
+        Self { entries: 1024, counter_bits: 2, interleave: (block_bytes / WORD_BYTES) as u32 }
+    }
+
+    fn counter_max(&self) -> u8 {
+        (1u16 << self.counter_bits) as u8 - 1
+    }
+
+    /// Threshold at or above which a counter predicts taken.
+    fn taken_threshold(&self) -> u8 {
+        1u8 << (self.counter_bits - 1)
+    }
+}
+
+impl Default for BtbConfig {
+    /// 1024 entries, 2-bit counters, interleave 4 (the P14 geometry).
+    fn default() -> Self {
+        Self { entries: 1024, counter_bits: 2, interleave: 4 }
+    }
+}
+
+impl fmt::Display for BtbConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}-entry direct-mapped BTB, {}-bit counters, interleave {}",
+            self.entries, self.counter_bits, self.interleave
+        )
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    /// Full word-index tag (no partial-tag aliasing).
+    tag: u64,
+    target: Addr,
+    counter: u8,
+}
+
+/// A single-instruction prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Prediction {
+    /// Whether the instruction is predicted to redirect fetch.
+    pub taken: bool,
+    /// Predicted target; `Some` exactly on a BTB hit.
+    pub target: Option<Addr>,
+    /// Whether the lookup hit.
+    pub hit: bool,
+}
+
+impl Prediction {
+    /// The not-taken / BTB-miss prediction.
+    #[must_use]
+    pub fn not_taken() -> Self {
+        Self { taken: false, target: None, hit: false }
+    }
+}
+
+/// Block-level prediction: the output of the interleaved-BTB comparator
+/// chain of Figure 5.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockPrediction {
+    /// One bit per instruction slot from the queried offset to the end of the
+    /// block: `true` for slots predicted to execute (up to and including the
+    /// first predicted-taken branch).
+    pub valid: Vec<bool>,
+    /// Predicted address of the next instruction after this block's valid
+    /// run: the first predicted-taken branch's target, or the sequential
+    /// address after the block.
+    pub successor: Addr,
+    /// Slot index (relative to the block base) of the first predicted-taken
+    /// branch, if any.
+    pub taken_slot: Option<u32>,
+}
+
+/// Predictor update/lookup statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BtbStats {
+    /// Single-instruction lookups.
+    pub lookups: u64,
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Updates applied.
+    pub updates: u64,
+    /// Allocations of a new entry (on a taken transfer).
+    pub allocations: u64,
+    /// Allocations that evicted a live entry mapping elsewhere.
+    pub evictions: u64,
+}
+
+/// The branch-target buffer.
+#[derive(Debug, Clone)]
+pub struct Btb {
+    config: BtbConfig,
+    entries: Vec<Option<Entry>>,
+    stats: BtbStats,
+}
+
+impl Btb {
+    /// Creates an empty BTB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.entries` is zero or `config.counter_bits` is not in
+    /// `1..=7`.
+    #[must_use]
+    pub fn new(config: BtbConfig) -> Self {
+        assert!(config.entries > 0, "BTB must have at least one entry");
+        assert!(
+            (1..=7).contains(&config.counter_bits),
+            "counter bits must be in 1..=7"
+        );
+        Self { config, entries: vec![None; config.entries], stats: BtbStats::default() }
+    }
+
+    /// Returns the configuration.
+    #[must_use]
+    pub fn config(&self) -> &BtbConfig {
+        &self.config
+    }
+
+    fn slot(&self, addr: Addr) -> usize {
+        (addr.word_index() % self.config.entries as u64) as usize
+    }
+
+    /// Predicts the instruction at `addr`.
+    ///
+    /// * BTB miss ⇒ predicted not-taken (sequential fetch continues).
+    /// * Hit, conditional ⇒ taken iff the 2-bit counter is in a taken state.
+    /// * Hit, unconditional (`is_cond == false`) ⇒ always predicted taken to
+    ///   the cached target.
+    pub fn predict(&mut self, addr: Addr, is_cond: bool) -> Prediction {
+        self.stats.lookups += 1;
+        let slot = self.slot(addr);
+        match self.entries[slot] {
+            Some(e) if e.tag == addr.word_index() => {
+                self.stats.hits += 1;
+                let taken = if is_cond { e.counter >= self.config.taken_threshold() } else { true };
+                Prediction { taken, target: Some(e.target), hit: true }
+            }
+            _ => Prediction::not_taken(),
+        }
+    }
+
+    /// Non-mutating variant of [`Btb::predict`] (no statistics update),
+    /// used by block-level queries and tests.
+    #[must_use]
+    pub fn peek(&self, addr: Addr, is_cond: bool) -> Prediction {
+        let slot = self.slot(addr);
+        match self.entries[slot] {
+            Some(e) if e.tag == addr.word_index() => {
+                let taken = if is_cond { e.counter >= self.config.taken_threshold() } else { true };
+                Prediction { taken, target: Some(e.target), hit: true }
+            }
+            _ => Prediction::not_taken(),
+        }
+    }
+
+    /// Records the resolved outcome of the control transfer at `addr`.
+    ///
+    /// Entries are allocated on taken transfers (the standard BTB policy: a
+    /// never-taken branch never occupies an entry). On a hit, conditional
+    /// counters saturate toward the outcome and the cached target is
+    /// refreshed when the transfer was taken.
+    pub fn update(&mut self, addr: Addr, is_cond: bool, taken: bool, target: Addr) {
+        self.stats.updates += 1;
+        let slot = self.slot(addr);
+        let tag = addr.word_index();
+        match &mut self.entries[slot] {
+            Some(e) if e.tag == tag => {
+                if is_cond {
+                    if taken {
+                        e.counter = (e.counter + 1).min(self.config.counter_max());
+                    } else {
+                        e.counter = e.counter.saturating_sub(1);
+                    }
+                }
+                if taken {
+                    e.target = target;
+                }
+            }
+            other => {
+                if taken {
+                    if other.is_some() {
+                        self.stats.evictions += 1;
+                    }
+                    self.stats.allocations += 1;
+                    // Allocate weakly-taken: the transfer just went that way.
+                    *other = Some(Entry {
+                        tag,
+                        target,
+                        counter: self.config.taken_threshold(),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Reproduces the interleaved-BTB block query of Figure 5: predictions
+    /// for every slot of the cache block at `block_base`, starting from
+    /// `from_slot`, for a block of `insts_per_block` instructions.
+    ///
+    /// The returned valid bits cover slots `from_slot..insts_per_block`; bits
+    /// before `from_slot` are conceptually invalid and not included. The
+    /// query is non-mutating (the hardware reads all banks in parallel).
+    ///
+    /// `is_cond` reports, per slot, whether the instruction there is a
+    /// conditional branch; the fetch hardware knows this no earlier than
+    /// decode, but a BTB hit implies the slot held a control transfer when
+    /// it last executed, so passing a decode-assisted closure keeps the model
+    /// faithful while letting tests drive arbitrary shapes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_base` is not block-aligned or `from_slot` is out of
+    /// range.
+    #[must_use]
+    pub fn query_block(
+        &self,
+        block_base: Addr,
+        insts_per_block: u32,
+        from_slot: u32,
+        is_cond: impl Fn(Addr) -> bool,
+    ) -> BlockPrediction {
+        let block_bytes = u64::from(insts_per_block) * WORD_BYTES;
+        assert!(
+            block_base.byte().is_multiple_of(block_bytes),
+            "block base {block_base} not aligned to {block_bytes}-byte blocks"
+        );
+        assert!(from_slot < insts_per_block, "from_slot {from_slot} out of range");
+        let mut valid = Vec::with_capacity((insts_per_block - from_slot) as usize);
+        let mut successor = block_base.add_words(u64::from(insts_per_block));
+        let mut taken_slot = None;
+        for slot in from_slot..insts_per_block {
+            let addr = block_base.add_words(u64::from(slot));
+            valid.push(true);
+            let p = self.peek(addr, is_cond(addr));
+            if p.taken {
+                if let Some(t) = p.target {
+                    successor = t;
+                    taken_slot = Some(slot);
+                    break;
+                }
+            }
+        }
+        BlockPrediction { valid, successor, taken_slot }
+    }
+
+    /// Returns accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> BtbStats {
+        self.stats
+    }
+
+    /// Clears all entries and statistics.
+    pub fn reset(&mut self) {
+        self.entries.fill(None);
+        self.stats = BtbStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn btb() -> Btb {
+        Btb::new(BtbConfig::default())
+    }
+
+    #[test]
+    fn miss_predicts_not_taken() {
+        let mut b = btb();
+        let p = b.predict(Addr::new(0x100), true);
+        assert!(!p.taken);
+        assert!(!p.hit);
+        assert_eq!(p.target, None);
+    }
+
+    #[test]
+    fn taken_allocates_weakly_taken() {
+        let mut b = btb();
+        b.update(Addr::new(0x100), true, true, Addr::new(0x800));
+        let p = b.predict(Addr::new(0x100), true);
+        assert!(p.taken);
+        assert_eq!(p.target, Some(Addr::new(0x800)));
+    }
+
+    #[test]
+    fn not_taken_never_allocates() {
+        let mut b = btb();
+        b.update(Addr::new(0x100), true, false, Addr::new(0x800));
+        assert!(!b.predict(Addr::new(0x100), true).hit);
+    }
+
+    #[test]
+    fn two_bit_hysteresis() {
+        let mut b = btb();
+        let a = Addr::new(0x100);
+        let t = Addr::new(0x800);
+        b.update(a, true, true, t); // counter = 2
+        b.update(a, true, true, t); // counter = 3
+        b.update(a, true, false, t); // counter = 2, still predicts taken
+        assert!(b.predict(a, true).taken, "one not-taken must not flip a saturated counter");
+        b.update(a, true, false, t); // counter = 1
+        assert!(!b.predict(a, true).taken);
+        b.update(a, true, true, t); // counter = 2
+        assert!(b.predict(a, true).taken);
+    }
+
+    #[test]
+    fn unconditional_hit_is_always_taken() {
+        let mut b = btb();
+        let a = Addr::new(0x200);
+        b.update(a, false, true, Addr::new(0x900));
+        // Drive the (unused) counter down; unconditional hits stay taken.
+        let p = b.predict(a, false);
+        assert!(p.taken);
+        assert_eq!(p.target, Some(Addr::new(0x900)));
+    }
+
+    #[test]
+    fn taken_update_refreshes_target() {
+        let mut b = btb();
+        let a = Addr::new(0x300);
+        b.update(a, false, true, Addr::new(0x1000));
+        b.update(a, false, true, Addr::new(0x2000));
+        assert_eq!(b.predict(a, false).target, Some(Addr::new(0x2000)));
+    }
+
+    #[test]
+    fn direct_mapped_conflict_evicts() {
+        let mut b = btb();
+        let a1 = Addr::from_word_index(5);
+        let a2 = Addr::from_word_index(5 + 1024); // same slot
+        b.update(a1, true, true, Addr::new(0x800));
+        b.update(a2, true, true, Addr::new(0x900));
+        assert!(!b.predict(a1, true).hit, "conflicting entry must evict");
+        assert!(b.predict(a2, true).hit);
+        assert_eq!(b.stats().evictions, 1);
+    }
+
+    #[test]
+    fn full_tags_prevent_aliased_hits() {
+        let mut b = btb();
+        let a1 = Addr::from_word_index(7);
+        let a2 = Addr::from_word_index(7 + 1024);
+        b.update(a1, true, true, Addr::new(0x800));
+        assert!(!b.predict(a2, true).hit);
+    }
+
+    #[test]
+    fn query_block_no_taken_branch_is_sequential() {
+        let b = btb();
+        let base = Addr::new(0x1000);
+        let q = b.query_block(base, 4, 0, |_| false);
+        assert_eq!(q.valid, vec![true; 4]);
+        assert_eq!(q.successor, Addr::new(0x1010));
+        assert_eq!(q.taken_slot, None);
+    }
+
+    #[test]
+    fn query_block_stops_at_predicted_taken() {
+        let mut b = btb();
+        let base = Addr::new(0x1000);
+        let branch = base.add_words(2);
+        b.update(branch, true, true, Addr::new(0x4000));
+        let q = b.query_block(base, 4, 0, |a| a == branch);
+        assert_eq!(q.valid, vec![true, true, true]); // slots 0,1,2; 3 masked off
+        assert_eq!(q.successor, Addr::new(0x4000));
+        assert_eq!(q.taken_slot, Some(2));
+    }
+
+    #[test]
+    fn query_block_respects_fetch_offset() {
+        let mut b = btb();
+        let base = Addr::new(0x1000);
+        let early = base; // predicted-taken branch at slot 0
+        b.update(early, true, true, Addr::new(0x4000));
+        // Fetch starting past the branch ignores it.
+        let q = b.query_block(base, 4, 1, |a| a == early);
+        assert_eq!(q.valid, vec![true, true, true]);
+        assert_eq!(q.successor, Addr::new(0x1010));
+    }
+
+    #[test]
+    fn peek_matches_predict_without_stats() {
+        let mut b = btb();
+        let a = Addr::new(0x100);
+        b.update(a, true, true, Addr::new(0x800));
+        let before = b.stats().lookups;
+        let peeked = b.peek(a, true);
+        assert_eq!(b.stats().lookups, before);
+        assert_eq!(peeked, b.predict(a, true));
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut b = btb();
+        b.update(Addr::new(0x100), true, true, Addr::new(0x800));
+        b.reset();
+        assert!(!b.predict(Addr::new(0x100), true).hit);
+    }
+
+    #[test]
+    fn config_for_block_bytes() {
+        let c = BtbConfig::for_block_bytes(64);
+        assert_eq!(c.interleave, 16);
+        assert_eq!(c.entries, 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "not aligned")]
+    fn query_block_requires_alignment() {
+        let b = btb();
+        let _ = b.query_block(Addr::new(0x1004), 4, 0, |_| false);
+    }
+}

@@ -1,0 +1,41 @@
+//! # fetchmech-bpred
+//!
+//! The branch-target buffer (BTB) used by every fetch mechanism in the
+//! ISCA '95 reproduction.
+//!
+//! The paper's predictor is a 1024-entry, direct-mapped BTB with 2-bit
+//! saturating counters; branch target addresses are cached per entry, and the
+//! buffer is interleaved by the number of instructions in a cache block so
+//! that one fetch can query a prediction for every slot of the fetched block
+//! simultaneously (Figure 5). [`Btb`] models the storage and counters;
+//! [`Btb::query_block`] reproduces the comparator chain that produces the
+//! per-slot valid bits and the successor block address.
+//!
+//! # Examples
+//!
+//! ```
+//! use fetchmech_bpred::{Btb, BtbConfig};
+//! use fetchmech_isa::Addr;
+//!
+//! let mut btb = Btb::new(BtbConfig::default());
+//! let branch = Addr::new(0x1000);
+//! let target = Addr::new(0x2000);
+//!
+//! // Cold: predicted not-taken (a BTB miss).
+//! assert!(!btb.predict(branch, true).taken);
+//!
+//! // Teach it the branch; a hit with a warm counter predicts taken.
+//! btb.update(branch, true, true, target);
+//! let p = btb.predict(branch, true);
+//! assert!(p.taken);
+//! assert_eq!(p.target, Some(target));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod btb;
+pub mod gshare;
+
+pub use btb::{BlockPrediction, Btb, BtbConfig, BtbStats, Prediction};
+pub use gshare::{Gshare, GshareConfig, GshareStats, PredictorKind, Tournament};

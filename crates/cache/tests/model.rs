@@ -1,0 +1,107 @@
+//! Model-based property tests: [`ICache`] against a trivially-correct
+//! reference implementation of direct-mapped semantics.
+
+use std::collections::HashMap;
+
+use fetchmech_cache::{Access, CacheConfig, ICache};
+use fetchmech_isa::Addr;
+use proptest::prelude::*;
+
+/// Reference model: a map from set index to resident block index.
+struct RefCache {
+    sets: u64,
+    block_bytes: u64,
+    resident: HashMap<u64, u64>,
+}
+
+impl RefCache {
+    fn new(cfg: &CacheConfig) -> Self {
+        Self { sets: cfg.num_sets(), block_bytes: cfg.block_bytes, resident: HashMap::new() }
+    }
+
+    fn access(&mut self, addr: Addr) -> Access {
+        let block = addr.byte() / self.block_bytes;
+        let set = block % self.sets;
+        if self.resident.get(&set) == Some(&block) {
+            Access::Hit
+        } else {
+            self.resident.insert(set, block);
+            Access::Miss
+        }
+    }
+}
+
+fn arb_config() -> impl Strategy<Value = CacheConfig> {
+    (4u32..10, 2u32..7, 0u32..2).prop_map(|(size_log, block_log, banks_log)| {
+        let block = 1u64 << block_log;
+        let size = (1u64 << size_log).max(block) * block;
+        CacheConfig::new(size, block, 1 << banks_log)
+    })
+}
+
+proptest! {
+    /// Every access agrees with the reference model, for arbitrary
+    /// geometries and access sequences.
+    #[test]
+    fn matches_reference_model(
+        cfg in arb_config(),
+        addrs in proptest::collection::vec(0u64..(1 << 20), 1..300),
+    ) {
+        let mut dut = ICache::new(cfg);
+        let mut model = RefCache::new(&cfg);
+        let mut misses = 0u64;
+        for a in addrs {
+            let addr = Addr::new(a);
+            let expect = model.access(addr);
+            let got = dut.access(addr);
+            prop_assert_eq!(got, expect, "addr {:#x}", a);
+            misses += u64::from(!got.is_hit());
+        }
+        prop_assert_eq!(dut.stats().misses, misses);
+    }
+
+    /// A probe never changes behaviour: probe == (next access hits).
+    #[test]
+    fn probe_predicts_access(
+        cfg in arb_config(),
+        addrs in proptest::collection::vec(0u64..(1 << 16), 1..200),
+    ) {
+        let mut dut = ICache::new(cfg);
+        for a in addrs {
+            let addr = Addr::new(a);
+            let predicted_hit = dut.probe(addr);
+            let got = dut.access(addr);
+            prop_assert_eq!(got.is_hit(), predicted_hit);
+        }
+    }
+
+    /// Addresses within one block always share a bank; adjacent blocks
+    /// alternate banks when there are two.
+    #[test]
+    fn bank_mapping_is_consistent(cfg in arb_config(), a in 0u64..(1 << 20)) {
+        let cache = ICache::new(cfg);
+        let addr = Addr::new(a);
+        let base = addr.block_base(cfg.block_bytes);
+        prop_assert_eq!(cache.bank_of(addr), cache.bank_of(base));
+        if cfg.banks == 2 {
+            let next = Addr::new(base.byte() + cfg.block_bytes);
+            prop_assert_ne!(cache.bank_of(base), cache.bank_of(next));
+        }
+    }
+
+    /// The working set fits: touching at most `num_sets` *distinct,
+    /// conflict-free* blocks then re-touching them all hits.
+    #[test]
+    fn conflict_free_working_set_stays_resident(cfg in arb_config(), start in 0u64..64) {
+        let mut dut = ICache::new(cfg);
+        let n = cfg.num_sets().min(64);
+        for i in 0..n {
+            let addr = Addr::new((start + i) * cfg.block_bytes);
+            prop_assert!(!dut.access(addr).is_hit());
+        }
+        for i in 0..n {
+            let addr = Addr::new((start + i) * cfg.block_bytes);
+            prop_assert!(dut.access(addr).is_hit(), "block {i} evicted unexpectedly");
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # fetchmech-compiler
+//!
+//! The profile-driven compiler optimizations of the ISCA '95 fetch-mechanisms
+//! paper's §4:
+//!
+//! * [`Profile`] — block and branch-edge counts gathered from training
+//!   inputs (the paper's five-profile-inputs methodology),
+//! * [`select_traces`] — Fisher-style trace selection,
+//! * [`reorder()`](reorder()) — trace layout with branch-sense inversion
+//!   (code reordering, Figure 12 / Table 3),
+//! * [`pad`] — the `pad-all` and `pad-trace` nop-insertion schemes
+//!   (Figure 13 / Table 4).
+//!
+//! # Examples
+//!
+//! Profile a workload on its training inputs and reorder it:
+//!
+//! ```
+//! use fetchmech_compiler::{reorder, Profile, TraceSelectConfig};
+//! use fetchmech_workloads::{suite, InputId};
+//!
+//! let w = suite::benchmark("compress").expect("known benchmark");
+//! let profile = Profile::collect(&w, &InputId::PROFILE, 10_000);
+//! let reordered = reorder(&w.program, &profile, &TraceSelectConfig::default());
+//! let layout = reordered.layout(16).expect("valid order");
+//! assert_eq!(layout.order().len(), w.program.num_blocks());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod pad;
+pub mod profile;
+pub mod reorder;
+pub mod traceselect;
+
+pub use pad::{expansion, layout_pad_all, PadReport};
+pub use profile::Profile;
+pub use reorder::{reorder, Reordered};
+pub use traceselect::{select_traces, Trace, TraceSelectConfig};

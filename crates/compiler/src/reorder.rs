@@ -1,0 +1,273 @@
+//! Code reordering: trace layout with branch-sense inversion (§4's
+//! profile-driven optimization).
+//!
+//! Traces are placed function by function in descending weight; within a
+//! trace, blocks are sequential. Conditional branches whose *taken* edge
+//! leads to the next laid block are inverted so the hot path falls through,
+//! which is what removes dynamic taken branches (Table 3) and lengthens the
+//! sequential runs every fetch mechanism feeds on (Figure 12).
+
+use std::collections::{HashMap, HashSet};
+
+use fetchmech_isa::{BlockId, Layout, LayoutError, LayoutOptions, PadMode, Program, Terminator};
+
+use crate::profile::Profile;
+use crate::traceselect::{select_traces, Trace, TraceSelectConfig};
+
+/// The result of code reordering: the edited program, the block order, and
+/// the trace-end set (for the pad-trace optimization).
+#[derive(Debug, Clone)]
+pub struct Reordered {
+    /// Program with inverted branch senses where the layout profits.
+    pub program: Program,
+    /// Block layout order (a permutation of all blocks).
+    pub order: Vec<BlockId>,
+    /// Final block of each trace — the only padding points `pad-trace` uses.
+    pub trace_ends: HashSet<BlockId>,
+    /// Number of conditional branches whose sense was inverted.
+    pub inverted_branches: usize,
+}
+
+impl Reordered {
+    /// Lays out the reordered program with the given cache-block size and no
+    /// padding.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LayoutError`] (cannot occur for an order produced by
+    /// [`reorder`]).
+    pub fn layout(&self, block_bytes: u64) -> Result<Layout, LayoutError> {
+        Layout::new(&self.program, &self.order, LayoutOptions::new(block_bytes))
+    }
+
+    /// Lays out with trace-end nop padding (§4.1 `pad-trace`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LayoutError`].
+    pub fn layout_pad_trace(&self, block_bytes: u64) -> Result<Layout, LayoutError> {
+        let opts = LayoutOptions::new(block_bytes)
+            .with_pad(PadMode::PadTrace(self.trace_ends.clone()));
+        Layout::new(&self.program, &self.order, opts)
+    }
+}
+
+/// Reorders `program` according to `profile`.
+///
+/// # Panics
+///
+/// Panics only on internal invariant violations (the edited program failing
+/// validation), which would be a bug.
+#[must_use]
+pub fn reorder(program: &Program, profile: &Profile, config: &TraceSelectConfig) -> Reordered {
+    let traces = select_traces(program, profile, config);
+    let order = layout_order(program, profile, &traces);
+    // Only traces the profile actually saw get padded ends: padding cold
+    // singleton traces would inflate code size with nops that buy nothing.
+    let trace_ends: HashSet<BlockId> = traces
+        .iter()
+        .filter(|t| t.weight > 0)
+        .map(|t| *t.blocks.last().expect("nonempty trace"))
+        .collect();
+
+    // Invert conditional branches whose taken edge goes to the next block.
+    let position: HashMap<BlockId, usize> =
+        order.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+    let mut edits = HashMap::new();
+    let mut inverted_branches = 0;
+    for block in program.blocks() {
+        if let Terminator::CondBranch { id, srcs, taken, fall, inverted } = block.terminator {
+            let next = order
+                .get(position[&block.id] + 1)
+                .copied();
+            if Some(taken) == next && taken != fall {
+                edits.insert(
+                    block.id,
+                    Terminator::CondBranch {
+                        id,
+                        srcs,
+                        taken: fall,
+                        fall: taken,
+                        inverted: !inverted,
+                    },
+                );
+                inverted_branches += 1;
+            }
+        }
+    }
+    let program = program
+        .with_terminators(&edits)
+        .expect("sense inversion preserves program validity");
+    Reordered { program, order, trace_ends, inverted_branches }
+}
+
+/// Places traces function-major (functions in original order, for call
+/// locality). Within a function, traces are chained Pettis-Hansen style:
+/// after placing a trace, the next trace is the one whose head is the most
+/// likely successor of the placed trace's tail — turning trace-to-trace
+/// transitions into fall-throughs instead of materialized jumps — falling
+/// back to the heaviest unplaced trace when the chain breaks.
+fn layout_order(program: &Program, profile: &Profile, traces: &[Trace]) -> Vec<BlockId> {
+    let mut by_func: Vec<Vec<&Trace>> = vec![Vec::new(); program.num_funcs()];
+    for t in traces {
+        let f = program.block(t.blocks[0]).func;
+        by_func[f.0 as usize].push(t);
+    }
+    let mut order = Vec::with_capacity(program.num_blocks());
+    for mut traces in by_func {
+        // Flow order (the natural position of each trace's head) keeps join
+        // traces near their predecessors, so trace-to-trace transitions tend
+        // to be fall-throughs; the chain step below then pulls the actual
+        // successor trace adjacent whenever it can. Weight still breaks ties
+        // via the chain preference.
+        traces.sort_by_key(|t| t.blocks.iter().map(|b| b.0).min().unwrap_or(u32::MAX));
+        let mut placed = vec![false; traces.len()];
+        let head_of: HashMap<BlockId, usize> =
+            traces.iter().enumerate().map(|(i, t)| (t.blocks[0], i)).collect();
+        let mut last_tail: Option<BlockId> = None;
+        for _ in 0..traces.len() {
+            // Prefer the chain successor of the last placed tail.
+            let next = last_tail
+                .and_then(|tail| {
+                    profile
+                        .edge_weights(program, tail)
+                        .into_iter()
+                        .filter(|&(_, w)| w > 0.0)
+                        .max_by(|a, b| a.1.total_cmp(&b.1))
+                        .map(|(succ, _)| succ)
+                })
+                .and_then(|succ| head_of.get(&succ).copied())
+                .filter(|&i| !placed[i])
+                .unwrap_or_else(|| {
+                    traces
+                        .iter()
+                        .enumerate()
+                        .position(|(i, _)| !placed[i])
+                        .expect("unplaced trace remains")
+                });
+            placed[next] = true;
+            order.extend(traces[next].blocks.iter().copied());
+            last_tail = traces[next].blocks.last().copied();
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fetchmech_isa::{OpClass, TraceStats};
+    use fetchmech_workloads::{suite, InputId, Workload};
+
+    fn setup(name: &str) -> (Workload, Reordered) {
+        let w = suite::benchmark(name).expect("known");
+        let p = Profile::collect(&w, &InputId::PROFILE, 30_000);
+        let r = reorder(&w.program, &p, &TraceSelectConfig::default());
+        (w, r)
+    }
+
+    #[test]
+    fn order_is_a_permutation() {
+        let (w, r) = setup("compress");
+        let mut seen = vec![false; w.program.num_blocks()];
+        for &b in &r.order {
+            assert!(!seen[b.0 as usize]);
+            seen[b.0 as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        // And it actually lays out.
+        let layout = r.layout(16).expect("layout");
+        assert!(!layout.code().is_empty());
+    }
+
+    #[test]
+    fn reordering_preserves_semantics() {
+        // The projected body-instruction stream (ops and registers of
+        // non-control, non-nop instructions) must be identical between the
+        // natural and reordered layouts under the same input.
+        let (w, r) = setup("compress");
+        let natural = Layout::natural(&w.program, LayoutOptions::new(16)).expect("layout");
+        let reordered = r.layout(16).expect("layout");
+        let reordered_workload = Workload {
+            spec: w.spec.clone(),
+            program: r.program.clone(),
+            behaviors: w.behaviors.clone(),
+        };
+        let project = |w: &Workload, l: &Layout| -> Vec<_> {
+            w.executor(l, InputId::TEST, 40_000)
+                .filter(|i| i.ctrl.is_none() && i.op != OpClass::Nop)
+                .map(|i| (i.op, i.dest, i.srcs))
+                .collect()
+        };
+        let a = project(&w, &natural);
+        let b = project(&reordered_workload, &reordered);
+        let n = a.len().min(b.len());
+        assert!(n > 10_000, "too little overlap to compare");
+        assert_eq!(a[..n], b[..n], "reordering changed program semantics");
+    }
+
+    #[test]
+    fn reordering_reduces_dynamic_taken_branches() {
+        for name in ["compress", "espresso", "li"] {
+            let (w, r) = setup(name);
+            let natural = Layout::natural(&w.program, LayoutOptions::new(16)).expect("layout");
+            let reordered = r.layout(16).expect("layout");
+            let rw = Workload {
+                spec: w.spec.clone(),
+                program: r.program.clone(),
+                behaviors: w.behaviors.clone(),
+            };
+            let rate = |w: &Workload, l: &Layout| {
+                let mut stats = TraceStats::new();
+                let mut useful = 0u64;
+                for i in w.executor(l, InputId::TEST, 60_000) {
+                    stats.observe(&i, 16);
+                    useful += u64::from(i.ctrl.is_none() && i.op != OpClass::Nop);
+                }
+                stats.taken_controls as f64 / useful as f64
+            };
+            let before = rate(&w, &natural);
+            let after = rate(&rw, &reordered);
+            assert!(
+                after < before * 0.95,
+                "{name}: taken-branch rate {before:.4} -> {after:.4} (expected >5% reduction)"
+            );
+        }
+    }
+
+    #[test]
+    fn inversion_count_is_nonzero_for_branchy_code() {
+        let (_, r) = setup("eqntott");
+        assert!(r.inverted_branches > 0);
+    }
+
+    #[test]
+    fn trace_ends_are_trace_tails() {
+        let (w, r) = setup("compress");
+        // Every trace end must be a block; the count equals the trace count,
+        // and each end is the last block of a contiguous run in the order.
+        assert!(!r.trace_ends.is_empty());
+        for &b in &r.trace_ends {
+            assert!((b.0 as usize) < w.program.num_blocks());
+        }
+    }
+
+    #[test]
+    fn pad_trace_layout_aligns_trace_starts() {
+        let (_, r) = setup("compress");
+        let layout = r.layout_pad_trace(16).expect("layout");
+        // After each trace end, the next block starts block-aligned.
+        for window in r.order.windows(2) {
+            if r.trace_ends.contains(&window[0]) {
+                assert_eq!(
+                    layout.block_addr(window[1]).byte() % 16,
+                    0,
+                    "block {} after trace end {} is misaligned",
+                    window[1],
+                    window[0]
+                );
+            }
+        }
+        assert!(layout.stats().pad_nops > 0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Ablations of the design choices DESIGN.md calls out: BTB capacity,
+//! branch-speculation depth, and the return-address-stack extension, each
+//! swept on the most aggressive machine (P112) where fetch pressure is
+//! highest. These quantify *why* the paper's fixed parameters are reasonable
+//! and how sensitive the headline results are to them.
+
+use std::fmt;
+
+use fetchmech_pipeline::MachineModel;
+use fetchmech_workloads::WorkloadClass;
+
+use super::Lab;
+use crate::metrics::harmonic_mean;
+use crate::scheme::SchemeKind;
+
+/// One sweep point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationRow {
+    /// Parameter value (entries, depth, …).
+    pub value: u64,
+    /// Harmonic-mean integer IPC of the *sequential* scheme.
+    pub sequential: f64,
+    /// Harmonic-mean integer IPC of the *collapsing buffer*.
+    pub collapsing: f64,
+}
+
+/// A named parameter sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sweep {
+    /// Parameter name.
+    pub name: &'static str,
+    /// The paper's value of this parameter on P112.
+    pub paper_value: u64,
+    /// Sweep rows in ascending parameter order.
+    pub rows: Vec<AblationRow>,
+}
+
+impl Sweep {
+    /// The row at the paper's parameter value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sweep does not include the paper point (a driver bug).
+    #[must_use]
+    pub fn paper_row(&self) -> &AblationRow {
+        self.rows
+            .iter()
+            .find(|r| r.value == self.paper_value)
+            .expect("sweep includes the paper's value")
+    }
+}
+
+/// The ablation study: three sweeps on P112 integer workloads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ablations {
+    /// BTB capacity sweep (entries).
+    pub btb: Sweep,
+    /// Speculation-depth sweep (unresolved branches).
+    pub spec_depth: Sweep,
+    /// Return-address-stack sweep (entries; 0 = the paper's machines).
+    pub ras: Sweep,
+}
+
+impl Ablations {
+    /// Runs all three sweeps.
+    pub fn run(lab: &mut Lab) -> Self {
+        let benches: Vec<_> = lab.class(WorkloadClass::Int).into_iter().cloned().collect();
+        let mean = |lab: &Lab, m: &MachineModel, s: SchemeKind| {
+            let v: Vec<f64> = benches.iter().map(|w| lab.run_natural(m, s, w).ipc()).collect();
+            harmonic_mean(&v)
+        };
+        let point = |lab: &Lab, m: &MachineModel, value: u64| AblationRow {
+            value,
+            sequential: mean(lab, m, SchemeKind::Sequential),
+            collapsing: mean(lab, m, SchemeKind::CollapsingBuffer),
+        };
+
+        let base = MachineModel::p112();
+        let btb = Sweep {
+            name: "BTB entries",
+            paper_value: 1024,
+            rows: [64usize, 256, 1024, 4096]
+                .into_iter()
+                .map(|entries| {
+                    let mut m = base.clone();
+                    m.btb_entries = entries;
+                    point(lab, &m, entries as u64)
+                })
+                .collect(),
+        };
+        let spec_depth = Sweep {
+            name: "speculation depth",
+            paper_value: 6,
+            rows: [1u32, 2, 4, 6, 12]
+                .into_iter()
+                .map(|d| {
+                    let mut m = base.clone();
+                    m.spec_depth = d;
+                    point(lab, &m, u64::from(d))
+                })
+                .collect(),
+        };
+        let ras = Sweep {
+            name: "RAS entries",
+            paper_value: 0,
+            rows: [0u32, 4, 16]
+                .into_iter()
+                .map(|n| point(lab, &base.clone().with_ras(n), u64::from(n)))
+                .collect(),
+        };
+        Ablations { btb, spec_depth, ras }
+    }
+
+    /// All three sweeps.
+    #[must_use]
+    pub fn sweeps(&self) -> [&Sweep; 3] {
+        [&self.btb, &self.spec_depth, &self.ras]
+    }
+}
+
+impl fmt::Display for Ablations {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Ablations on P112 (integer, harmonic-mean IPC)")?;
+        for sweep in self.sweeps() {
+            writeln!(f, "\n{} (paper: {}):", sweep.name, sweep.paper_value)?;
+            writeln!(f, "{:>10} {:>12} {:>12}", "value", "sequential", "collapsing")?;
+            for r in &sweep.rows {
+                let mark = if r.value == sweep.paper_value { " <- paper" } else { "" };
+                writeln!(
+                    f,
+                    "{:>10} {:>12.3} {:>12.3}{mark}",
+                    r.value, r.sequential, r.collapsing
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::ExpConfig;
+
+    #[test]
+    fn ablation_trends_are_sane() {
+        let mut lab = Lab::new(ExpConfig::quick());
+        let a = Ablations::run(&mut lab);
+
+        // More BTB never hurts much; a 64-entry BTB clearly hurts.
+        let btb = &a.btb.rows;
+        assert!(btb.first().expect("rows").collapsing < btb.last().expect("rows").collapsing);
+        assert!(
+            a.btb.paper_row().collapsing > 0.97 * btb.last().expect("rows").collapsing,
+            "the paper's 1024 entries should be near the asymptote"
+        );
+
+        // Speculation depth 1 strangles fetch; the paper's 6 is near the top.
+        let sd = &a.spec_depth.rows;
+        assert!(sd[0].collapsing < sd.last().expect("rows").collapsing);
+        assert!(
+            a.spec_depth.paper_row().collapsing > 0.95 * sd.last().expect("rows").collapsing
+        );
+
+        // A RAS only helps (or is neutral).
+        let ras = &a.ras.rows;
+        assert!(ras.last().expect("rows").collapsing >= ras[0].collapsing - 0.02);
+    }
+}

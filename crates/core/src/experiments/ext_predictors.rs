@@ -1,0 +1,163 @@
+//! Extension (the paper's concluding remarks): *"It remains to be seen what
+//! effect branch prediction accuracy has on the misprediction penalty when
+//! designing a pipelined collapsing buffer… Depending on the complexity of
+//! this branch prediction hardware, a shifter-based implementation of
+//! collapsing buffer may be viable."*
+//!
+//! This experiment swaps the BTB's 2-bit counters for McFarling's combining
+//! ("tournament") predictor — the paper's own reference [11] — and re-runs
+//! the Figure 11 comparison: banked sequential versus the collapsing buffer
+//! at two- and three-cycle fetch penalties. Better prediction means fewer
+//! redirects, so the extra penalty cycle matters less — quantifying how much
+//! predictor accuracy buys the cheaper shifter implementation.
+
+use std::fmt;
+
+use fetchmech_bpred::{GshareConfig, PredictorKind};
+use fetchmech_pipeline::MachineModel;
+use fetchmech_workloads::WorkloadClass;
+
+use super::Lab;
+use crate::metrics::harmonic_mean;
+use crate::scheme::SchemeKind;
+
+/// Results for one machine under one predictor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtPredictorsRow {
+    /// Machine model name.
+    pub machine: String,
+    /// Predictor used.
+    pub predictor: PredictorKind,
+    /// Mean misprediction rate over all control transfers.
+    pub mispredict_rate: f64,
+    /// Mean *direction* misprediction rate over conditional branches — the
+    /// component the predictor choice actually changes.
+    pub dir_mispredict_rate: f64,
+    /// Harmonic-mean IPC of banked sequential (2-cycle penalty).
+    pub banked: f64,
+    /// Harmonic-mean IPC of the collapsing buffer (crossbar, 2-cycle).
+    pub collapsing_p2: f64,
+    /// Harmonic-mean IPC of the collapsing buffer (shifter, 3-cycle).
+    pub collapsing_p3: f64,
+}
+
+impl ExtPredictorsRow {
+    /// `true` if the shifter (3-cycle) collapsing buffer beats banked
+    /// sequential — the viability question the paper poses.
+    #[must_use]
+    pub fn shifter_viable(&self) -> bool {
+        self.collapsing_p3 > self.banked
+    }
+}
+
+/// The predictor-extension data set (integer benchmarks).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtPredictors {
+    /// Two rows per machine: 2-bit BTB, then gshare.
+    pub rows: Vec<ExtPredictorsRow>,
+}
+
+impl ExtPredictors {
+    /// Runs the experiment.
+    pub fn run(lab: &mut Lab) -> Self {
+        let benches: Vec<_> = lab.class(WorkloadClass::Int).into_iter().cloned().collect();
+        let predictors = [
+            PredictorKind::TwoBitBtb,
+            PredictorKind::Tournament(GshareConfig::default_4k()),
+        ];
+        let mut rows = Vec::new();
+        for base in MachineModel::paper_models() {
+            for predictor in predictors {
+                let machine = base.clone().with_predictor(predictor);
+                let run_mean = |lab: &Lab, m: &MachineModel, s: SchemeKind| {
+                    let v: Vec<f64> =
+                        benches.iter().map(|w| lab.run_natural(m, s, w).ipc()).collect();
+                    harmonic_mean(&v)
+                };
+                let runs: Vec<_> = benches
+                    .iter()
+                    .map(|w| lab.run_natural(&machine, SchemeKind::CollapsingBuffer, w))
+                    .collect();
+                let rates: Vec<f64> = runs.iter().map(|r| r.fetch.mispredict_rate()).collect();
+                let dir_rates: Vec<f64> =
+                    runs.iter().map(|r| r.fetch.cond_dir_mispredict_rate()).collect();
+                let shifter = machine.clone().with_fetch_penalty(3);
+                rows.push(ExtPredictorsRow {
+                    machine: base.name.clone(),
+                    predictor,
+                    mispredict_rate: rates.iter().sum::<f64>() / rates.len() as f64,
+                    dir_mispredict_rate: dir_rates.iter().sum::<f64>() / dir_rates.len() as f64,
+                    banked: run_mean(lab, &machine, SchemeKind::BankedSequential),
+                    collapsing_p2: run_mean(lab, &machine, SchemeKind::CollapsingBuffer),
+                    collapsing_p3: run_mean(lab, &shifter, SchemeKind::CollapsingBuffer),
+                });
+            }
+        }
+        ExtPredictors { rows }
+    }
+
+    /// The row for one machine and predictor.
+    #[must_use]
+    pub fn row(&self, machine: &str, predictor: PredictorKind) -> Option<&ExtPredictorsRow> {
+        self.rows.iter().find(|r| r.machine == machine && r.predictor == predictor)
+    }
+}
+
+impl fmt::Display for ExtPredictors {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Extension: predictor accuracy vs the shifter collapsing buffer (integer, harmonic-mean IPC)"
+        )?;
+        writeln!(
+            f,
+            "{:>8} {:>16} {:>10} {:>10} {:>9} {:>14} {:>14} {:>9}",
+            "machine", "predictor", "mispred%", "dirmiss%", "banked", "collapsing(p2)", "collapsing(p3)", "viable?"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:>8} {:>16} {:>9.1}% {:>9.1}% {:>9.3} {:>14.3} {:>14.3} {:>9}",
+                r.machine,
+                r.predictor.to_string(),
+                100.0 * r.mispredict_rate,
+                100.0 * r.dir_mispredict_rate,
+                r.banked,
+                r.collapsing_p2,
+                r.collapsing_p3,
+                if r.shifter_viable() { "yes" } else { "no" }
+            )?;
+        }
+        writeln!(
+            f,
+            "(viable? = does the cheaper shifter implementation still beat banked sequential)"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::ExpConfig;
+
+    #[test]
+    fn tournament_reduces_mispredictions_and_helps_the_shifter() {
+        let mut lab = Lab::new(ExpConfig::quick());
+        let ext = ExtPredictors::run(&mut lab);
+        assert_eq!(ext.rows.len(), 6);
+        for machine in ["P14", "P18", "P112"] {
+            let twobit = ext.row(machine, PredictorKind::TwoBitBtb).expect("row");
+            let tourney = ext
+                .row(machine, PredictorKind::Tournament(GshareConfig::default_4k()))
+                .expect("row");
+            assert!(
+                tourney.dir_mispredict_rate < twobit.dir_mispredict_rate,
+                "{machine}: tournament direction-miss {:.3} should beat 2-bit {:.3}",
+                tourney.dir_mispredict_rate,
+                twobit.dir_mispredict_rate
+            );
+            // Better prediction lifts IPC across the board.
+            assert!(tourney.collapsing_p2 > twobit.collapsing_p2, "{machine}");
+        }
+    }
+}

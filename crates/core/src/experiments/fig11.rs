@@ -1,0 +1,127 @@
+//! Figure 11: the shifter-implemented collapsing buffer. With a three-cycle
+//! fetch misprediction penalty the collapsing buffer loses its edge over
+//! banked sequential — the paper's argument for the crossbar implementation.
+
+use std::fmt;
+
+use fetchmech_pipeline::MachineModel;
+use fetchmech_workloads::WorkloadClass;
+
+use super::Lab;
+use crate::metrics::harmonic_mean;
+use crate::scheme::SchemeKind;
+
+/// One machine group of Figure 11 (integer benchmarks only, as in the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig11Row {
+    /// Machine model name.
+    pub machine: String,
+    /// Harmonic-mean IPC of the four hardware schemes with the standard
+    /// two-cycle penalty, in [`SchemeKind::HARDWARE`] order.
+    pub hardware: [f64; 4],
+    /// The collapsing buffer with a three-cycle penalty (shifter model).
+    pub collapsing_penalty3: f64,
+    /// The perfect bound.
+    pub perfect: f64,
+}
+
+impl Fig11Row {
+    /// IPC of one standard-penalty hardware scheme.
+    #[must_use]
+    pub fn ipc_of(&self, scheme: SchemeKind) -> f64 {
+        let idx =
+            SchemeKind::HARDWARE.iter().position(|&s| s == scheme).expect("hardware scheme");
+        self.hardware[idx]
+    }
+}
+
+/// The full Figure 11 data set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig11 {
+    /// One row per machine.
+    pub rows: Vec<Fig11Row>,
+}
+
+impl Fig11 {
+    /// Runs the experiment.
+    pub fn run(lab: &mut Lab) -> Self {
+        let mut rows = Vec::new();
+        for machine in MachineModel::paper_models() {
+            let benches: Vec<_> = lab.class(WorkloadClass::Int).into_iter().cloned().collect();
+            let mean_ipc = |lab: &Lab, machine: &MachineModel, scheme: SchemeKind| {
+                let values: Vec<f64> =
+                    benches.iter().map(|w| lab.run_natural(machine, scheme, w).ipc()).collect();
+                harmonic_mean(&values)
+            };
+            let mut hardware = [0.0; 4];
+            for (i, scheme) in SchemeKind::HARDWARE.into_iter().enumerate() {
+                hardware[i] = mean_ipc(lab, &machine, scheme);
+            }
+            let shifter = machine.clone().with_fetch_penalty(3);
+            let collapsing_penalty3 = mean_ipc(lab, &shifter, SchemeKind::CollapsingBuffer);
+            let perfect = mean_ipc(lab, &machine, SchemeKind::Perfect);
+            rows.push(Fig11Row {
+                machine: machine.name.clone(),
+                hardware,
+                collapsing_penalty3,
+                perfect,
+            });
+        }
+        Fig11 { rows }
+    }
+}
+
+impl fmt::Display for Fig11 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 11: collapsing buffer with a 3-cycle fetch penalty (integer, harmonic-mean IPC)"
+        )?;
+        write!(f, "{:>8}", "machine")?;
+        for s in SchemeKind::HARDWARE {
+            write!(f, " {:>12}", s.name())?;
+        }
+        writeln!(f, " {:>14} {:>9}", "collapsing(p3)", "perfect")?;
+        for r in &self.rows {
+            write!(f, "{:>8}", r.machine)?;
+            for v in r.hardware {
+                write!(f, " {v:>12.3}")?;
+            }
+            writeln!(f, " {:>14.3} {:>9.3}", r.collapsing_penalty3, r.perfect)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::ExpConfig;
+
+    #[test]
+    fn fig11_shifter_loses_the_edge() {
+        let mut lab = Lab::new(ExpConfig::quick());
+        let fig = Fig11::run(&mut lab);
+        assert_eq!(fig.rows.len(), 3);
+        for r in &fig.rows {
+            // The extra penalty must cost performance...
+            assert!(
+                r.collapsing_penalty3 < r.ipc_of(SchemeKind::CollapsingBuffer),
+                "{}: penalty-3 {} not below penalty-2 {}",
+                r.machine,
+                r.collapsing_penalty3,
+                r.ipc_of(SchemeKind::CollapsingBuffer)
+            );
+            // ...and bring the collapsing buffer down to (or below) roughly
+            // banked-sequential territory, as Figure 11 shows.
+            let banked = r.ipc_of(SchemeKind::BankedSequential);
+            assert!(
+                r.collapsing_penalty3 < banked * 1.03,
+                "{}: penalty-3 collapsing {} should not clearly beat banked {}",
+                r.machine,
+                r.collapsing_penalty3,
+                banked
+            );
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Figure 12: performance after profile-driven code reordering (integer
+//! benchmarks). Reordering lifts every scheme; reordered interleaved
+//! sequential reaches unordered-perfect territory, and the reordered
+//! collapsing buffer approaches reordered perfect.
+
+use std::fmt;
+
+use fetchmech_pipeline::MachineModel;
+use fetchmech_workloads::WorkloadClass;
+
+use super::Lab;
+use crate::metrics::harmonic_mean;
+use crate::scheme::SchemeKind;
+
+/// One machine group of Figure 12.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig12Row {
+    /// Machine model name.
+    pub machine: String,
+    /// Sequential on the unoptimized layout.
+    pub sequential_unordered: f64,
+    /// The five schemes on the reordered layout, in [`SchemeKind::ALL`]
+    /// order (sequential … perfect).
+    pub reordered: [f64; 5],
+    /// Perfect on the unoptimized layout.
+    pub perfect_unordered: f64,
+}
+
+impl Fig12Row {
+    /// Reordered IPC of one scheme.
+    #[must_use]
+    pub fn reordered_of(&self, scheme: SchemeKind) -> f64 {
+        let idx = SchemeKind::ALL.iter().position(|&s| s == scheme).expect("known scheme");
+        self.reordered[idx]
+    }
+}
+
+/// The full Figure 12 data set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig12 {
+    /// One row per machine.
+    pub rows: Vec<Fig12Row>,
+}
+
+impl Fig12 {
+    /// Runs the experiment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a reordered layout fails to build (an internal invariant).
+    pub fn run(lab: &mut Lab) -> Self {
+        let names: Vec<&'static str> = lab
+            .class(WorkloadClass::Int)
+            .into_iter()
+            .map(|w| w.spec.name)
+            .collect();
+        let mut rows = Vec::new();
+        for machine in MachineModel::paper_models() {
+            let mut seq_unordered = Vec::new();
+            let mut perf_unordered = Vec::new();
+            let mut reordered_ipc: [Vec<f64>; 5] = Default::default();
+            for &name in &names {
+                let w = lab.bench(name).clone();
+                seq_unordered
+                    .push(lab.run_natural(&machine, SchemeKind::Sequential, &w).ipc());
+                perf_unordered.push(lab.run_natural(&machine, SchemeKind::Perfect, &w).ipc());
+
+                let rw = lab.reordered_workload(name);
+                let layout = lab
+                    .reordered(name)
+                    .layout(machine.block_bytes)
+                    .expect("reordered layout");
+                for (i, scheme) in SchemeKind::ALL.into_iter().enumerate() {
+                    reordered_ipc[i].push(lab.run_layout(&machine, scheme, &rw, &layout).ipc());
+                }
+            }
+            let mut reordered = [0.0; 5];
+            for (i, values) in reordered_ipc.iter().enumerate() {
+                reordered[i] = harmonic_mean(values);
+            }
+            rows.push(Fig12Row {
+                machine: machine.name.clone(),
+                sequential_unordered: harmonic_mean(&seq_unordered),
+                reordered,
+                perfect_unordered: harmonic_mean(&perf_unordered),
+            });
+        }
+        Fig12 { rows }
+    }
+}
+
+impl fmt::Display for Fig12 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 12: IPC after code reordering (integer, harmonic mean)")?;
+        write!(f, "{:>8} {:>12}", "machine", "seq(unord)")?;
+        for s in SchemeKind::ALL {
+            write!(f, " {:>15}", format!("{}(r)", s.name()))?;
+        }
+        writeln!(f, " {:>12}", "perf(unord)")?;
+        for r in &self.rows {
+            write!(f, "{:>8} {:>12.3}", r.machine, r.sequential_unordered)?;
+            for v in r.reordered {
+                write!(f, " {v:>15.3}")?;
+            }
+            writeln!(f, " {:>12.3}", r.perfect_unordered)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::ExpConfig;
+
+    #[test]
+    fn fig12_reordering_lifts_all_schemes() {
+        let mut lab = Lab::new(ExpConfig::quick());
+        let fig = Fig12::run(&mut lab);
+        assert_eq!(fig.rows.len(), 3);
+        for r in &fig.rows {
+            // Reordered sequential beats unordered sequential.
+            assert!(
+                r.reordered_of(SchemeKind::Sequential) > r.sequential_unordered,
+                "{}: reordering must lift sequential ({} vs {})",
+                r.machine,
+                r.reordered_of(SchemeKind::Sequential),
+                r.sequential_unordered
+            );
+            // Reordered collapsing approaches reordered perfect (within 10%).
+            let coll = r.reordered_of(SchemeKind::CollapsingBuffer);
+            let perf = r.reordered_of(SchemeKind::Perfect);
+            assert!(
+                coll > 0.88 * perf,
+                "{}: reordered collapsing {} too far below reordered perfect {}",
+                r.machine,
+                coll,
+                perf
+            );
+        }
+        // Reordered interleaved reaches unordered-perfect territory (the
+        // paper's software-vs-hardware tradeoff) on every machine.
+        for r in &fig.rows {
+            assert!(
+                r.reordered_of(SchemeKind::InterleavedSequential) > 0.92 * r.perfect_unordered,
+                "{}: interleaved(reordered) {} vs perfect(unordered) {}",
+                r.machine,
+                r.reordered_of(SchemeKind::InterleavedSequential),
+                r.perfect_unordered
+            );
+        }
+    }
+}

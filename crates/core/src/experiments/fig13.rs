@@ -1,0 +1,146 @@
+//! Figure 13: the padding optimizations applied to the *sequential* scheme —
+//! `pad-all` on the unordered layout, `pad-trace` on the reordered layout,
+//! against the plain and perfect bounds.
+
+use std::fmt;
+
+use fetchmech_compiler::layout_pad_all;
+use fetchmech_pipeline::MachineModel;
+use fetchmech_workloads::WorkloadClass;
+
+use super::Lab;
+use crate::metrics::harmonic_mean;
+use crate::scheme::SchemeKind;
+
+/// One machine group of Figure 13 (integer benchmarks, harmonic-mean IPC of
+/// the *sequential* scheme under each code layout).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig13Row {
+    /// Machine model name.
+    pub machine: String,
+    /// Unordered layout, no padding.
+    pub unordered: f64,
+    /// Unordered layout with `pad-all`.
+    pub pad_all: f64,
+    /// Reordered layout, no padding.
+    pub reordered: f64,
+    /// Reordered layout with `pad-trace`.
+    pub pad_trace: f64,
+    /// Perfect fetch on the unordered layout (reference bound).
+    pub perfect_unordered: f64,
+}
+
+/// The full Figure 13 data set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig13 {
+    /// One row per machine.
+    pub rows: Vec<Fig13Row>,
+}
+
+impl Fig13 {
+    /// Runs the experiment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a layout fails to build (an internal invariant).
+    pub fn run(lab: &mut Lab) -> Self {
+        let names: Vec<&'static str> =
+            lab.class(WorkloadClass::Int).into_iter().map(|w| w.spec.name).collect();
+        let mut rows = Vec::new();
+        for machine in MachineModel::paper_models() {
+            let bs = machine.block_bytes;
+            let mut unordered = Vec::new();
+            let mut pad_all = Vec::new();
+            let mut reordered = Vec::new();
+            let mut pad_trace = Vec::new();
+            let mut perfect = Vec::new();
+            for &name in &names {
+                let w = lab.bench(name).clone();
+                unordered.push(lab.run_natural(&machine, SchemeKind::Sequential, &w).ipc());
+                perfect.push(lab.run_natural(&machine, SchemeKind::Perfect, &w).ipc());
+
+                let all_layout = layout_pad_all(&w.program, bs).expect("pad-all layout");
+                pad_all.push(
+                    lab.run_layout(&machine, SchemeKind::Sequential, &w, &all_layout).ipc(),
+                );
+
+                let rw = lab.reordered_workload(name);
+                let r = lab.reordered(name).clone();
+                let rl = r.layout(bs).expect("reordered layout");
+                reordered
+                    .push(lab.run_layout(&machine, SchemeKind::Sequential, &rw, &rl).ipc());
+                let tl = r.layout_pad_trace(bs).expect("pad-trace layout");
+                pad_trace
+                    .push(lab.run_layout(&machine, SchemeKind::Sequential, &rw, &tl).ipc());
+            }
+            rows.push(Fig13Row {
+                machine: machine.name.clone(),
+                unordered: harmonic_mean(&unordered),
+                pad_all: harmonic_mean(&pad_all),
+                reordered: harmonic_mean(&reordered),
+                pad_trace: harmonic_mean(&pad_trace),
+                perfect_unordered: harmonic_mean(&perfect),
+            });
+        }
+        Fig13 { rows }
+    }
+}
+
+impl fmt::Display for Fig13 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 13: pad-all / pad-trace for sequential (integer, harmonic-mean IPC)")?;
+        writeln!(
+            f,
+            "{:>8} {:>10} {:>10} {:>10} {:>10} {:>12}",
+            "machine", "unordered", "pad-all", "reordered", "pad-trace", "perf(unord)"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:>8} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>12.3}",
+                r.machine, r.unordered, r.pad_all, r.reordered, r.pad_trace, r.perfect_unordered
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::ExpConfig;
+
+    #[test]
+    fn fig13_padding_effects_match_paper() {
+        let mut lab = Lab::new(ExpConfig::quick());
+        let fig = Fig13::run(&mut lab);
+        assert_eq!(fig.rows.len(), 3);
+        for r in &fig.rows {
+            // Reordering is the big win for sequential.
+            assert!(
+                r.reordered > r.unordered,
+                "{}: reordered {} <= unordered {}",
+                r.machine,
+                r.reordered,
+                r.unordered
+            );
+            // pad-trace is at worst a small perturbation of reordered.
+            assert!(
+                r.pad_trace > 0.9 * r.reordered,
+                "{}: pad-trace {} collapsed relative to reordered {}",
+                r.machine,
+                r.pad_trace,
+                r.reordered
+            );
+        }
+        // pad-all hurts at the large block sizes (P112), where its code
+        // expansion destroys cache locality and fetch density.
+        let p112 = &fig.rows[2];
+        assert!(
+            p112.pad_all < p112.reordered,
+            "P112: pad-all {} should trail reordered {}",
+            p112.pad_all,
+            p112.reordered
+        );
+    }
+}

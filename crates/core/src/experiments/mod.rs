@@ -1,0 +1,229 @@
+//! Experiment drivers: one per table and figure of the paper's evaluation.
+//!
+//! Each driver returns a plain-data result type with a `Display` impl that
+//! renders the same rows/series the paper reports; the `fetchmech-bench`
+//! crate's `report` binary prints them, its criterion benches time them, and
+//! the integration tests assert their qualitative shape (who wins, how the
+//! trend moves with issue rate).
+//!
+//! All drivers hang off [`Lab`], which lazily generates and caches the
+//! benchmark suite, profiles, and reordered programs so that a full report
+//! run does each expensive step once.
+
+use std::collections::HashMap;
+
+use fetchmech_compiler::{reorder, Profile, Reordered, TraceSelectConfig};
+use fetchmech_isa::{DynInst, Layout, LayoutOptions};
+use fetchmech_pipeline::MachineModel;
+use fetchmech_workloads::{suite, InputId, Workload, WorkloadClass};
+
+use crate::scheme::SchemeKind;
+use crate::sim::{measure_eir, simulate, EirResult, SimResult};
+
+mod ablations;
+mod ext_predictors;
+mod fig10;
+mod fig11;
+mod fig12;
+mod fig13;
+mod fig3;
+mod fig9;
+mod table2;
+mod table3;
+mod table4;
+
+pub use ablations::{AblationRow, Ablations, Sweep};
+pub use ext_predictors::{ExtPredictors, ExtPredictorsRow};
+pub use fig10::{Fig10, Fig10Row};
+pub use fig11::{Fig11, Fig11Row};
+pub use fig12::{Fig12, Fig12Row};
+pub use fig13::{Fig13, Fig13Row};
+pub use fig3::{Fig3, Fig3Row};
+pub use fig9::{Fig9, Fig9Row};
+pub use table2::{Table2, Table2Row};
+pub use table3::{Table3, Table3Row};
+pub use table4::{Table4, Table4Row};
+
+/// Sizing knobs for the experiment drivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpConfig {
+    /// Dynamic instructions simulated per (benchmark, machine, scheme) run.
+    pub trace_len: u64,
+    /// Dynamic instructions per profiling input.
+    pub profile_len: u64,
+}
+
+impl ExpConfig {
+    /// Full-length runs used by the `report` binary and EXPERIMENTS.md.
+    #[must_use]
+    pub fn full() -> Self {
+        Self { trace_len: 300_000, profile_len: 60_000 }
+    }
+
+    /// Reduced runs for unit tests and criterion benches.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self { trace_len: 40_000, profile_len: 15_000 }
+    }
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+/// The experiment laboratory: benchmark suite plus lazily-computed profiles
+/// and reordered programs, shared across all drivers.
+#[derive(Debug)]
+pub struct Lab {
+    cfg: ExpConfig,
+    benchmarks: Vec<Workload>,
+    profiles: HashMap<&'static str, Profile>,
+    reordered: HashMap<&'static str, Reordered>,
+}
+
+impl Lab {
+    /// Creates a lab over the full fifteen-benchmark suite.
+    #[must_use]
+    pub fn new(cfg: ExpConfig) -> Self {
+        Self {
+            cfg,
+            benchmarks: suite::full_suite(),
+            profiles: HashMap::new(),
+            reordered: HashMap::new(),
+        }
+    }
+
+    /// Returns the configuration.
+    #[must_use]
+    pub fn config(&self) -> ExpConfig {
+        self.cfg
+    }
+
+    /// All benchmarks of the given class.
+    #[must_use]
+    pub fn class(&self, class: WorkloadClass) -> Vec<&Workload> {
+        self.benchmarks.iter().filter(|w| w.spec.class == class).collect()
+    }
+
+    /// A benchmark by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown names (driver-internal use only).
+    #[must_use]
+    pub fn bench(&self, name: &str) -> &Workload {
+        self.benchmarks
+            .iter()
+            .find(|w| w.spec.name == name)
+            .unwrap_or_else(|| panic!("unknown benchmark {name}"))
+    }
+
+    /// The profile for `name`, collected on the five training inputs.
+    pub fn profile(&mut self, name: &'static str) -> &Profile {
+        if !self.profiles.contains_key(name) {
+            let w = self.bench(name).clone();
+            let p = Profile::collect(&w, &InputId::PROFILE, self.cfg.profile_len);
+            self.profiles.insert(name, p);
+        }
+        &self.profiles[name]
+    }
+
+    /// The reordered (trace-laid-out) form of `name`.
+    pub fn reordered(&mut self, name: &'static str) -> &Reordered {
+        if !self.reordered.contains_key(name) {
+            let profile = self.profile(name).clone();
+            let w = self.bench(name);
+            let r = reorder(&w.program, &profile, &TraceSelectConfig::default());
+            self.reordered.insert(name, r);
+        }
+        &self.reordered[name]
+    }
+
+    /// A reordered benchmark as a [`Workload`] (same behaviours, edited
+    /// program), for executing against a reordered layout.
+    pub fn reordered_workload(&mut self, name: &'static str) -> Workload {
+        let r = self.reordered(name).program.clone();
+        let w = self.bench(name);
+        Workload { spec: w.spec.clone(), program: r, behaviors: w.behaviors.clone() }
+    }
+
+    /// Collects the test-input trace of `workload` under `layout`.
+    #[must_use]
+    pub fn trace(&self, workload: &Workload, layout: &Layout) -> Vec<DynInst> {
+        workload.executor(layout, InputId::TEST, self.cfg.trace_len).collect()
+    }
+
+    /// Runs one full simulation on the natural layout.
+    pub fn run_natural(
+        &self,
+        machine: &MachineModel,
+        scheme: SchemeKind,
+        workload: &Workload,
+    ) -> SimResult {
+        let layout = Layout::natural(&workload.program, LayoutOptions::new(machine.block_bytes))
+            .expect("natural layout");
+        let trace = self.trace(workload, &layout);
+        simulate(machine, scheme, trace.into_iter())
+    }
+
+    /// Runs one full simulation on an explicit layout of `workload`.
+    pub fn run_layout(
+        &self,
+        machine: &MachineModel,
+        scheme: SchemeKind,
+        workload: &Workload,
+        layout: &Layout,
+    ) -> SimResult {
+        let trace = self.trace(workload, layout);
+        simulate(machine, scheme, trace.into_iter())
+    }
+
+    /// Fetch-only EIR measurement on the natural layout.
+    pub fn eir_natural(
+        &self,
+        machine: &MachineModel,
+        scheme: SchemeKind,
+        workload: &Workload,
+    ) -> EirResult {
+        let layout = Layout::natural(&workload.program, LayoutOptions::new(machine.block_bytes))
+            .expect("natural layout");
+        let trace = self.trace(workload, &layout);
+        measure_eir(machine, scheme, trace.into_iter())
+    }
+}
+
+/// Formats a benchmark-class label the way the paper's figures do.
+#[must_use]
+pub fn class_label(class: WorkloadClass) -> &'static str {
+    match class {
+        WorkloadClass::Int => "integer",
+        WorkloadClass::Fp => "floating-point",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lab_caches_profiles_and_reorderings() {
+        let mut lab = Lab::new(ExpConfig::quick());
+        let a = lab.profile("compress").clone();
+        let b = lab.profile("compress").clone();
+        assert_eq!(a, b);
+        let ra = lab.reordered("compress").order.clone();
+        let rb = lab.reordered("compress").order.clone();
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn class_partition_covers_suite() {
+        let lab = Lab::new(ExpConfig::quick());
+        let int = lab.class(WorkloadClass::Int).len();
+        let fp = lab.class(WorkloadClass::Fp).len();
+        assert_eq!(int, 9);
+        assert_eq!(fp, 6);
+    }
+}

@@ -1,0 +1,106 @@
+//! Table 2: the percentage of taken branches whose target lies in the same
+//! cache block (*intra-block branches*), per benchmark, for the three block
+//! sizes — the phenomenon motivating the collapsing buffer.
+
+use std::fmt;
+
+use fetchmech_isa::{Layout, LayoutOptions, TraceStats};
+use fetchmech_pipeline::MachineModel;
+use fetchmech_workloads::{InputId, WorkloadClass};
+
+use super::Lab;
+
+/// One benchmark row of Table 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Row {
+    /// Benchmark name.
+    pub bench: &'static str,
+    /// Benchmark class.
+    pub class: WorkloadClass,
+    /// Intra-block percentage per block size, in the order 16 B / 32 B / 64 B
+    /// (P14 / P18 / P112).
+    pub pct: [f64; 3],
+}
+
+/// The full Table 2 data set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2 {
+    /// One row per benchmark, integer benchmarks first.
+    pub rows: Vec<Table2Row>,
+}
+
+impl Table2 {
+    /// Runs the experiment. One trace per benchmark per block size (block
+    /// size changes the layout geometry, so the trace is regenerated).
+    pub fn run(lab: &mut Lab) -> Self {
+        let block_sizes: Vec<u64> =
+            MachineModel::paper_models().iter().map(|m| m.block_bytes).collect();
+        let mut rows = Vec::new();
+        for class in [WorkloadClass::Int, WorkloadClass::Fp] {
+            for w in lab.class(class).into_iter().cloned().collect::<Vec<_>>() {
+                let mut pct = [0.0; 3];
+                for (i, &bs) in block_sizes.iter().enumerate() {
+                    let layout = Layout::natural(&w.program, LayoutOptions::new(bs))
+                        .expect("natural layout");
+                    let mut stats = TraceStats::new();
+                    for inst in w.executor(&layout, InputId::TEST, lab.config().trace_len) {
+                        stats.observe(&inst, bs);
+                    }
+                    pct[i] = stats.intra_block_pct();
+                }
+                rows.push(Table2Row { bench: w.spec.name, class: w.spec.class, pct });
+            }
+        }
+        Table2 { rows }
+    }
+
+    /// Row for one benchmark.
+    #[must_use]
+    pub fn row(&self, bench: &str) -> Option<&Table2Row> {
+        self.rows.iter().find(|r| r.bench == bench)
+    }
+}
+
+impl fmt::Display for Table2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table 2: % taken branches with intra-block targets")?;
+        writeln!(f, "{:<6} {:<10} {:>8} {:>8} {:>8}", "class", "benchmark", "P14/16B", "P18/32B", "P112/64B")?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<6} {:<10} {:>7.2}% {:>7.2}% {:>7.2}%",
+                r.class, r.bench, r.pct[0], r.pct[1], r.pct[2]
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::ExpConfig;
+
+    #[test]
+    fn table2_trends_match_paper() {
+        let mut lab = Lab::new(ExpConfig::quick());
+        let t = Table2::run(&mut lab);
+        assert_eq!(t.rows.len(), 15);
+
+        // The fraction is non-decreasing in block size for every benchmark
+        // (allowing small sampling noise).
+        for r in &t.rows {
+            assert!(r.pct[1] >= r.pct[0] - 2.0, "{}: {:?}", r.bench, r.pct);
+            assert!(r.pct[2] >= r.pct[1] - 2.0, "{}: {:?}", r.bench, r.pct);
+        }
+        // nasa7 (pure loop nests) has essentially none.
+        let nasa = t.row("nasa7").expect("nasa7 present");
+        assert!(nasa.pct[2] < 2.0, "nasa7: {:?}", nasa.pct);
+        // compress has a visible fraction even at 16 B blocks.
+        let compress = t.row("compress").expect("compress present");
+        assert!(compress.pct[0] > 4.0, "compress: {:?}", compress.pct);
+        // The branchiest integer codes reach tens of percent at 64 B.
+        let eqntott = t.row("eqntott").expect("eqntott present");
+        assert!(eqntott.pct[2] > 25.0, "eqntott: {:?}", eqntott.pct);
+    }
+}

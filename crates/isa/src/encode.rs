@@ -1,0 +1,419 @@
+//! Fixed 32-bit instruction encoding.
+//!
+//! The paper's instruction set is "a simplified version of GCC's intermediate
+//! code … encoded using a fixed, 32-bit format". This module provides that
+//! format so laid-out programs can be rendered to a binary image (the cache
+//! model operates on addresses, but the encoder pins down the geometry and
+//! gives the test suite a strong roundtrip invariant).
+//!
+//! Formats (bit 31 = most significant):
+//!
+//! ```text
+//! ALU/mem : [op:5][rd:6][rs1:6][rs2:6][mask:3][imm:6]
+//! cond br : [op:5][rs1:6][rs2:6][mask:2][disp:13]   (word displacement)
+//! jmp/call: [op:5][disp:27]                         (word displacement)
+//! ret     : [op:5][rs1:6][0:21]
+//! nop/halt: [op:5][0:27]
+//! ```
+//!
+//! Register fields hold [`Reg::file_index`]; the `mask` bits record which of
+//! rd/rs1/rs2 are present (body ops) or which sources are present (branches).
+
+use std::fmt;
+
+use crate::addr::Addr;
+use crate::layout::{CtrlAttr, LaidInst};
+use crate::op::OpClass;
+use crate::reg::Reg;
+
+const OPC_BITS: u32 = 5;
+const BR_DISP_BITS: u32 = 13;
+const JMP_DISP_BITS: u32 = 27;
+const IMM_BITS: u32 = 6;
+
+fn opcode(op: OpClass) -> u32 {
+    match op {
+        OpClass::IntAlu => 0,
+        OpClass::IntMul => 1,
+        OpClass::FpAdd => 2,
+        OpClass::FpMul => 3,
+        OpClass::Load => 4,
+        OpClass::Store => 5,
+        OpClass::CondBranch => 6,
+        OpClass::Jump => 7,
+        OpClass::Call => 8,
+        OpClass::Return => 9,
+        OpClass::Nop => 10,
+        OpClass::Halt => 11,
+    }
+}
+
+fn op_from_code(code: u32) -> Option<OpClass> {
+    OpClass::ALL.into_iter().find(|&op| opcode(op) == code)
+}
+
+/// Errors from [`encode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncodeError {
+    /// A branch displacement does not fit its field.
+    DispOverflow {
+        /// Instruction address.
+        addr: Addr,
+        /// Word displacement that overflowed.
+        disp: i64,
+        /// Field width in bits.
+        bits: u32,
+    },
+    /// An immediate does not fit the 6-bit field.
+    ImmOverflow {
+        /// Instruction address.
+        addr: Addr,
+        /// The immediate.
+        imm: i8,
+    },
+    /// A control instruction is missing its resolved target.
+    MissingTarget(Addr),
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::DispOverflow { addr, disp, bits } => {
+                write!(f, "displacement {disp} at {addr} exceeds {bits} bits")
+            }
+            EncodeError::ImmOverflow { addr, imm } => {
+                write!(f, "immediate {imm} at {addr} exceeds {IMM_BITS} bits")
+            }
+            EncodeError::MissingTarget(addr) => {
+                write!(f, "control instruction at {addr} has no resolved target")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Errors from [`decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The opcode field holds an unassigned value.
+    BadOpcode(u32),
+    /// A register field holds an out-of-range index.
+    BadRegister(u32),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadOpcode(c) => write!(f, "unassigned opcode {c}"),
+            DecodeError::BadRegister(r) => write!(f, "register index {r} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn fit_signed(value: i64, bits: u32) -> Option<u32> {
+    let min = -(1i64 << (bits - 1));
+    let max = (1i64 << (bits - 1)) - 1;
+    if (min..=max).contains(&value) {
+        Some((value as u32) & ((1u32 << bits) - 1))
+    } else {
+        None
+    }
+}
+
+fn sign_extend(value: u32, bits: u32) -> i64 {
+    let shift = 64 - bits;
+    (((u64::from(value)) << shift) as i64) >> shift
+}
+
+fn reg_field(reg: Option<Reg>) -> u32 {
+    reg.map_or(0, |r| r.file_index() as u32)
+}
+
+fn reg_from_field(field: u32) -> Result<Reg, DecodeError> {
+    if field < 64 {
+        Ok(Reg::from_file_index(field as usize))
+    } else {
+        Err(DecodeError::BadRegister(field))
+    }
+}
+
+/// Encodes one laid-out instruction to its 32-bit machine word.
+///
+/// # Errors
+///
+/// Returns an [`EncodeError`] if a displacement or immediate overflows its
+/// field, or a control instruction other than `ret` lacks a resolved target.
+pub fn encode(inst: &LaidInst) -> Result<u32, EncodeError> {
+    let op = opcode(inst.op) << (32 - OPC_BITS);
+    match inst.op {
+        OpClass::IntAlu
+        | OpClass::IntMul
+        | OpClass::FpAdd
+        | OpClass::FpMul
+        | OpClass::Load
+        | OpClass::Store => {
+            let mask = (u32::from(inst.dest.is_some()) << 2)
+                | (u32::from(inst.srcs[0].is_some()) << 1)
+                | u32::from(inst.srcs[1].is_some());
+            let imm = fit_signed(i64::from(inst.imm), IMM_BITS)
+                .ok_or(EncodeError::ImmOverflow { addr: inst.addr, imm: inst.imm })?;
+            Ok(op
+                | (reg_field(inst.dest) << 21)
+                | (reg_field(inst.srcs[0]) << 15)
+                | (reg_field(inst.srcs[1]) << 9)
+                | (mask << IMM_BITS)
+                | imm)
+        }
+        OpClass::CondBranch => {
+            let target = ctrl_target(inst)?;
+            let disp = target.word_index() as i64 - inst.addr.word_index() as i64;
+            let disp_field = fit_signed(disp, BR_DISP_BITS).ok_or(EncodeError::DispOverflow {
+                addr: inst.addr,
+                disp,
+                bits: BR_DISP_BITS,
+            })?;
+            let mask = (u32::from(inst.srcs[0].is_some()) << 1) | u32::from(inst.srcs[1].is_some());
+            Ok(op
+                | (reg_field(inst.srcs[0]) << 21)
+                | (reg_field(inst.srcs[1]) << 15)
+                | (mask << BR_DISP_BITS)
+                | disp_field)
+        }
+        OpClass::Jump | OpClass::Call => {
+            let target = ctrl_target(inst)?;
+            let disp = target.word_index() as i64 - inst.addr.word_index() as i64;
+            let disp_field = fit_signed(disp, JMP_DISP_BITS).ok_or(EncodeError::DispOverflow {
+                addr: inst.addr,
+                disp,
+                bits: JMP_DISP_BITS,
+            })?;
+            Ok(op | disp_field)
+        }
+        OpClass::Return => Ok(op | (reg_field(inst.srcs[0]) << 21)),
+        OpClass::Nop | OpClass::Halt => Ok(op),
+    }
+}
+
+fn ctrl_target(inst: &LaidInst) -> Result<Addr, EncodeError> {
+    inst.ctrl
+        .and_then(|c| c.target)
+        .ok_or(EncodeError::MissingTarget(inst.addr))
+}
+
+/// A decoded machine word: the fields recoverable from the binary alone.
+///
+/// Branch identity (`BranchId`), block membership, and the `halt` restart
+/// target are layout/program-level metadata and are *not* present in the
+/// encoding; [`decode`] leaves them `None`/default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decoded {
+    /// Operation class.
+    pub op: OpClass,
+    /// Destination register.
+    pub dest: Option<Reg>,
+    /// Source registers.
+    pub srcs: [Option<Reg>; 2],
+    /// Immediate field (body ops only).
+    pub imm: i8,
+    /// Resolved control target (PC-relative displacements are applied against
+    /// the provided instruction address).
+    pub target: Option<Addr>,
+}
+
+/// Decodes a 32-bit machine word located at `addr`.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] for unassigned opcodes or bad register fields.
+pub fn decode(word: u32, addr: Addr) -> Result<Decoded, DecodeError> {
+    let code = word >> (32 - OPC_BITS);
+    let op = op_from_code(code).ok_or(DecodeError::BadOpcode(code))?;
+    match op {
+        OpClass::IntAlu
+        | OpClass::IntMul
+        | OpClass::FpAdd
+        | OpClass::FpMul
+        | OpClass::Load
+        | OpClass::Store => {
+            let mask = (word >> IMM_BITS) & 0b111;
+            let dest = if mask & 0b100 != 0 {
+                Some(reg_from_field((word >> 21) & 0x3f)?)
+            } else {
+                None
+            };
+            let s0 = if mask & 0b010 != 0 {
+                Some(reg_from_field((word >> 15) & 0x3f)?)
+            } else {
+                None
+            };
+            let s1 = if mask & 0b001 != 0 {
+                Some(reg_from_field((word >> 9) & 0x3f)?)
+            } else {
+                None
+            };
+            let imm = sign_extend(word & ((1 << IMM_BITS) - 1), IMM_BITS) as i8;
+            Ok(Decoded { op, dest, srcs: [s0, s1], imm, target: None })
+        }
+        OpClass::CondBranch => {
+            let mask = (word >> BR_DISP_BITS) & 0b11;
+            let s0 = if mask & 0b10 != 0 {
+                Some(reg_from_field((word >> 21) & 0x3f)?)
+            } else {
+                None
+            };
+            let s1 = if mask & 0b01 != 0 {
+                Some(reg_from_field((word >> 15) & 0x3f)?)
+            } else {
+                None
+            };
+            let disp = sign_extend(word & ((1 << BR_DISP_BITS) - 1), BR_DISP_BITS);
+            let target = Addr::from_word_index((addr.word_index() as i64 + disp) as u64);
+            Ok(Decoded { op, dest: None, srcs: [s0, s1], imm: 0, target: Some(target) })
+        }
+        OpClass::Jump | OpClass::Call => {
+            let disp = sign_extend(word & ((1 << JMP_DISP_BITS) - 1), JMP_DISP_BITS);
+            let target = Addr::from_word_index((addr.word_index() as i64 + disp) as u64);
+            let dest = if op == OpClass::Call { Some(Reg::Int(31)) } else { None };
+            Ok(Decoded { op, dest, srcs: [None, None], imm: 0, target: Some(target) })
+        }
+        OpClass::Return => {
+            let s0 = Some(reg_from_field((word >> 21) & 0x3f)?);
+            Ok(Decoded { op, dest: None, srcs: [s0, None], imm: 0, target: None })
+        }
+        OpClass::Nop | OpClass::Halt => {
+            Ok(Decoded { op, dest: None, srcs: [None, None], imm: 0, target: None })
+        }
+    }
+}
+
+/// Encodes an entire laid-out code stream to machine words.
+///
+/// # Errors
+///
+/// Propagates the first [`EncodeError`] encountered.
+pub fn encode_image(code: &[LaidInst]) -> Result<Vec<u32>, EncodeError> {
+    code.iter().map(encode).collect()
+}
+
+/// Renders a laid-out instruction as assembly-like text (for debugging and
+/// the example binaries).
+#[must_use]
+pub fn disasm(inst: &LaidInst) -> String {
+    let mut s = format!("{}: {}", inst.addr, inst.op.mnemonic());
+    if let Some(d) = inst.dest {
+        s.push_str(&format!(" {d}"));
+    }
+    for src in inst.srcs.iter().flatten() {
+        s.push_str(&format!(" {src}"));
+    }
+    if let Some(CtrlAttr { target: Some(t), .. }) = inst.ctrl {
+        s.push_str(&format!(" -> {t}"));
+    }
+    if inst.imm != 0 {
+        s.push_str(&format!(" #{}", inst.imm));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::{BlockId, BranchId};
+
+    fn laid(op: OpClass, addr: u64, target: Option<u64>) -> LaidInst {
+        LaidInst {
+            addr: Addr::new(addr),
+            op,
+            dest: None,
+            srcs: [None, None],
+            imm: 0,
+            ctrl: if op.is_control() || op == OpClass::Halt {
+                Some(CtrlAttr {
+                    branch_id: (op == OpClass::CondBranch).then_some(BranchId(0)),
+                    inverted: false,
+                    target: target.map(Addr::new),
+                })
+            } else {
+                None
+            },
+            block: BlockId(0),
+        }
+    }
+
+    #[test]
+    fn alu_roundtrip_with_regs_and_imm() {
+        let mut i = laid(OpClass::IntAlu, 0x1000, None);
+        i.dest = Some(Reg::int(5));
+        i.srcs = [Some(Reg::int(6)), Some(Reg::fp(7))];
+        i.imm = -3;
+        let d = decode(encode(&i).expect("encode"), i.addr).expect("decode");
+        assert_eq!(d.op, OpClass::IntAlu);
+        assert_eq!(d.dest, i.dest);
+        assert_eq!(d.srcs, i.srcs);
+        assert_eq!(d.imm, -3);
+    }
+
+    #[test]
+    fn branch_roundtrip_forward_and_backward() {
+        for target in [0x1040u64, 0x0fc0] {
+            let mut i = laid(OpClass::CondBranch, 0x1000, Some(target));
+            i.srcs = [Some(Reg::int(1)), None];
+            let d = decode(encode(&i).expect("encode"), i.addr).expect("decode");
+            assert_eq!(d.target, Some(Addr::new(target)), "target {target:#x}");
+            assert_eq!(d.srcs, i.srcs);
+        }
+    }
+
+    #[test]
+    fn jump_and_call_roundtrip() {
+        for op in [OpClass::Jump, OpClass::Call] {
+            let i = laid(op, 0x2000, Some(0x8000));
+            let d = decode(encode(&i).expect("encode"), i.addr).expect("decode");
+            assert_eq!(d.op, op);
+            assert_eq!(d.target, Some(Addr::new(0x8000)));
+        }
+    }
+
+    #[test]
+    fn return_nop_halt_roundtrip() {
+        let mut ret = laid(OpClass::Return, 0x100, None);
+        ret.srcs = [Some(Reg::int(31)), None];
+        let d = decode(encode(&ret).expect("encode"), ret.addr).expect("decode");
+        assert_eq!(d.op, OpClass::Return);
+        assert_eq!(d.srcs[0], Some(Reg::int(31)));
+        for op in [OpClass::Nop, OpClass::Halt] {
+            let i = laid(op, 0x100, (op == OpClass::Halt).then_some(0x0));
+            let d = decode(encode(&i).expect("encode"), i.addr).expect("decode");
+            assert_eq!(d.op, op);
+        }
+    }
+
+    #[test]
+    fn branch_disp_overflow_errors() {
+        let i = laid(OpClass::CondBranch, 0x1000, Some(0x1000 + 4 * (1 << 13)));
+        assert!(matches!(encode(&i), Err(EncodeError::DispOverflow { .. })));
+    }
+
+    #[test]
+    fn missing_target_errors() {
+        let i = laid(OpClass::Jump, 0x1000, None);
+        assert_eq!(encode(&i), Err(EncodeError::MissingTarget(Addr::new(0x1000))));
+    }
+
+    #[test]
+    fn bad_opcode_errors() {
+        let word = 31u32 << 27;
+        assert_eq!(decode(word, Addr::new(0)), Err(DecodeError::BadOpcode(31)));
+    }
+
+    #[test]
+    fn disasm_is_nonempty_and_shows_target() {
+        let i = laid(OpClass::Jump, 0x1000, Some(0x2000));
+        let s = disasm(&i);
+        assert!(s.contains("jmp"));
+        assert!(s.contains("0x00002000"));
+    }
+}

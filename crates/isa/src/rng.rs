@@ -1,0 +1,271 @@
+//! Small, deterministic pseudo-random number generators.
+//!
+//! Every stochastic decision in the reproduction (workload generation, branch
+//! behaviour, input perturbation) flows through [`Pcg64`], a permuted
+//! congruential generator with an explicit 64-bit seed. Keeping the RNG in the
+//! repository (rather than depending on `rand`) pins the generated workloads
+//! bit-for-bit across toolchain upgrades, which the experiment golden tests
+//! rely on.
+//!
+//! # Examples
+//!
+//! ```
+//! use fetchmech_isa::rng::Pcg64;
+//!
+//! let mut a = Pcg64::new(42);
+//! let mut b = Pcg64::new(42);
+//! assert_eq!(a.next_u64(), b.next_u64());
+//! ```
+
+/// SplitMix64 step, used for seeding and as a one-shot hash.
+///
+/// # Examples
+///
+/// ```
+/// let h = fetchmech_isa::rng::splitmix64(1);
+/// assert_ne!(h, fetchmech_isa::rng::splitmix64(2));
+/// ```
+#[must_use]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A deterministic 64-bit PRNG (xoshiro256** core seeded via SplitMix64).
+///
+/// The name reflects the role (a fast, statistically-solid simulation RNG),
+/// not a promise of the PCG family algorithm; the core is xoshiro256**.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pcg64 {
+    s: [u64; 4],
+}
+
+impl Pcg64 {
+    /// Creates a generator from a 64-bit seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        let mut x = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            x = splitmix64(x);
+            *slot = x;
+        }
+        // xoshiro must not start from the all-zero state.
+        if s == [0, 0, 0, 0] {
+            s = [0x9e37_79b9_7f4a_7c15, 1, 2, 3];
+        }
+        Self { s }
+    }
+
+    /// Derives an independent child generator from this seed and a stream id.
+    ///
+    /// Used to give each workload component (block sizes, branch biases,
+    /// register assignment, …) its own stream so that changing one component
+    /// does not perturb the others.
+    #[must_use]
+    pub fn stream(seed: u64, stream: u64) -> Self {
+        Self::new(splitmix64(seed ^ splitmix64(stream)))
+    }
+
+    /// Returns the next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Returns a uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        let span = hi - lo;
+        // Multiply-shift rejection-free mapping; bias is negligible for the
+        // small spans used by the generators (< 2^32).
+        lo + ((u128::from(self.next_u64()) * u128::from(span)) >> 64) as u64
+    }
+
+    /// Returns a uniform `usize` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// Picks one element of `choices` uniformly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `choices` is empty.
+    pub fn pick<'a, T>(&mut self, choices: &'a [T]) -> &'a T {
+        assert!(!choices.is_empty(), "pick from empty slice");
+        &choices[self.range_usize(0, choices.len())]
+    }
+
+    /// Picks an index in `[0, weights.len())` with probability proportional
+    /// to the weight. Zero-weight entries are never picked unless all weights
+    /// are zero, in which case index 0 is returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or any weight is negative or non-finite.
+    pub fn pick_weighted(&mut self, weights: &[f64]) -> usize {
+        assert!(!weights.is_empty(), "pick_weighted from empty slice");
+        let total: f64 = weights
+            .iter()
+            .map(|&w| {
+                assert!(w.is_finite() && w >= 0.0, "invalid weight {w}");
+                w
+            })
+            .sum();
+        if total <= 0.0 {
+            return 0;
+        }
+        let mut x = self.next_f64() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            if x < w {
+                return i;
+            }
+            x -= w;
+        }
+        weights.len() - 1
+    }
+
+    /// Samples a geometric-like trip count with the given mean (>= 1).
+    ///
+    /// Loop trip counts in the workload generators use this shape: mostly
+    /// near the mean, occasionally longer, never zero.
+    pub fn trip_count(&mut self, mean: f64) -> u64 {
+        let mean = mean.max(1.0);
+        if mean <= 1.0 {
+            return 1;
+        }
+        // Geometric with success probability 1/mean, shifted to start at 1.
+        let p = 1.0 / mean;
+        let u = self.next_f64().max(f64::MIN_POSITIVE);
+        let g = (u.ln() / (1.0 - p).ln()).floor() as u64;
+        1 + g.min(10_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = Pcg64::new(7);
+        let mut b = Pcg64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Pcg64::new(1);
+        let mut b = Pcg64::new(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2, "seeds 1 and 2 produced overlapping streams");
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let mut a = Pcg64::stream(9, 0);
+        let mut b = Pcg64::stream(9, 1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn f64_is_unit_interval() {
+        let mut r = Pcg64::new(3);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut r = Pcg64::new(4);
+        for _ in 0..10_000 {
+            let x = r.range_u64(10, 20);
+            assert!((10..20).contains(&x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn range_panics_on_empty() {
+        Pcg64::new(0).range_u64(5, 5);
+    }
+
+    #[test]
+    fn chance_matches_probability_roughly() {
+        let mut r = Pcg64::new(5);
+        let hits = (0..100_000).filter(|_| r.chance(0.3)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.3).abs() < 0.01, "frac = {frac}");
+    }
+
+    #[test]
+    fn pick_weighted_obeys_weights() {
+        let mut r = Pcg64::new(6);
+        let mut counts = [0usize; 3];
+        for _ in 0..60_000 {
+            counts[r.pick_weighted(&[1.0, 2.0, 3.0])] += 1;
+        }
+        assert!(counts[0] < counts[1] && counts[1] < counts[2]);
+    }
+
+    #[test]
+    fn pick_weighted_all_zero_returns_first() {
+        let mut r = Pcg64::new(6);
+        assert_eq!(r.pick_weighted(&[0.0, 0.0]), 0);
+    }
+
+    #[test]
+    fn trip_count_mean_is_close() {
+        let mut r = Pcg64::new(8);
+        let n = 50_000;
+        let sum: u64 = (0..n).map(|_| r.trip_count(10.0)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 10.0).abs() < 0.5, "mean = {mean}");
+    }
+
+    #[test]
+    fn trip_count_is_at_least_one() {
+        let mut r = Pcg64::new(9);
+        for _ in 0..1000 {
+            assert!(r.trip_count(1.0) >= 1);
+            assert!(r.trip_count(0.0) >= 1);
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Binary serialization of dynamic traces.
+//!
+//! Traces in this reproduction are regenerated deterministically, but a
+//! stable on-disk format lets users snapshot a trace once and replay it
+//! elsewhere (or feed externally-produced traces to the simulator). The
+//! format is a compact little-endian record stream:
+//!
+//! ```text
+//! header:  magic "FMTR" | u16 version | u16 reserved | u64 record count
+//! record:  u64 addr | u8 op | u8 dest | u8 src0 | u8 src1
+//!          | u8 flags | u64 next_pc
+//!          [ u32 branch_id  if flags.HAS_BRANCH_ID ]
+//!          [ u64 target     if flags.HAS_CTRL ]
+//!          [ u64 link       if flags.HAS_LINK ]
+//! ```
+//!
+//! Register bytes hold `Reg::file_index` or `0xff` for "none"; `flags` packs
+//! the ctrl presence bits and the taken flag.
+
+use std::io::{self, Read, Write};
+
+use crate::addr::Addr;
+use crate::cfg::BranchId;
+use crate::op::OpClass;
+use crate::reg::Reg;
+use crate::trace::{DynCtrl, DynInst};
+
+const MAGIC: &[u8; 4] = b"FMTR";
+const VERSION: u16 = 1;
+
+const NO_REG: u8 = 0xff;
+const F_HAS_CTRL: u8 = 1 << 0;
+const F_TAKEN: u8 = 1 << 1;
+const F_HAS_BRANCH_ID: u8 = 1 << 2;
+const F_HAS_LINK: u8 = 1 << 3;
+
+fn op_code(op: OpClass) -> u8 {
+    OpClass::ALL.iter().position(|&o| o == op).expect("op in ALL") as u8
+}
+
+fn op_from(code: u8) -> Option<OpClass> {
+    OpClass::ALL.get(code as usize).copied()
+}
+
+fn reg_byte(r: Option<Reg>) -> u8 {
+    r.map_or(NO_REG, |r| r.file_index() as u8)
+}
+
+fn reg_from(b: u8) -> Result<Option<Reg>, io::Error> {
+    match b {
+        NO_REG => Ok(None),
+        n if (n as usize) < 64 => Ok(Some(Reg::from_file_index(n as usize))),
+        n => Err(io::Error::new(io::ErrorKind::InvalidData, format!("bad register byte {n}"))),
+    }
+}
+
+/// Writes a trace to `w` in the `FMTR` format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_trace<W: Write>(mut w: W, trace: &[DynInst]) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&0u16.to_le_bytes())?;
+    w.write_all(&(trace.len() as u64).to_le_bytes())?;
+    for inst in trace {
+        w.write_all(&inst.addr.byte().to_le_bytes())?;
+        let mut flags = 0u8;
+        if let Some(c) = inst.ctrl {
+            flags |= F_HAS_CTRL;
+            if c.taken {
+                flags |= F_TAKEN;
+            }
+            if c.branch_id.is_some() {
+                flags |= F_HAS_BRANCH_ID;
+            }
+            if c.link.is_some() {
+                flags |= F_HAS_LINK;
+            }
+        }
+        w.write_all(&[
+            op_code(inst.op),
+            reg_byte(inst.dest),
+            reg_byte(inst.srcs[0]),
+            reg_byte(inst.srcs[1]),
+            flags,
+        ])?;
+        w.write_all(&inst.next_pc.byte().to_le_bytes())?;
+        if let Some(c) = inst.ctrl {
+            if let Some(id) = c.branch_id {
+                w.write_all(&id.0.to_le_bytes())?;
+            }
+            w.write_all(&c.target.byte().to_le_bytes())?;
+            if let Some(link) = c.link {
+                w.write_all(&link.byte().to_le_bytes())?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn read_exact<const N: usize, R: Read>(r: &mut R) -> io::Result<[u8; N]> {
+    let mut buf = [0u8; N];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+/// Reads a trace previously written by [`write_trace`].
+///
+/// # Errors
+///
+/// Returns [`io::ErrorKind::InvalidData`] for a bad magic number, an
+/// unsupported version, or malformed records, and propagates reader errors.
+pub fn read_trace<R: Read>(mut r: R) -> io::Result<Vec<DynInst>> {
+    let magic = read_exact::<4, _>(&mut r)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad trace magic"));
+    }
+    let version = u16::from_le_bytes(read_exact::<2, _>(&mut r)?);
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported trace version {version}"),
+        ));
+    }
+    let _reserved = read_exact::<2, _>(&mut r)?;
+    let count = u64::from_le_bytes(read_exact::<8, _>(&mut r)?);
+    let mut trace = Vec::with_capacity(count.min(1 << 24) as usize);
+    for _ in 0..count {
+        let addr = Addr::new(u64::from_le_bytes(read_exact::<8, _>(&mut r)?));
+        let [op_b, dest_b, s0_b, s1_b, flags] = read_exact::<5, _>(&mut r)?;
+        let op = op_from(op_b).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("bad op byte {op_b}"))
+        })?;
+        let next_pc = Addr::new(u64::from_le_bytes(read_exact::<8, _>(&mut r)?));
+        let ctrl = if flags & F_HAS_CTRL != 0 {
+            let branch_id = if flags & F_HAS_BRANCH_ID != 0 {
+                Some(BranchId(u32::from_le_bytes(read_exact::<4, _>(&mut r)?)))
+            } else {
+                None
+            };
+            let target = Addr::new(u64::from_le_bytes(read_exact::<8, _>(&mut r)?));
+            let link = if flags & F_HAS_LINK != 0 {
+                Some(Addr::new(u64::from_le_bytes(read_exact::<8, _>(&mut r)?)))
+            } else {
+                None
+            };
+            Some(DynCtrl { branch_id, taken: flags & F_TAKEN != 0, target, link })
+        } else {
+            None
+        };
+        trace.push(DynInst {
+            addr,
+            op,
+            dest: reg_from(dest_b)?,
+            srcs: [reg_from(s0_b)?, reg_from(s1_b)?],
+            next_pc,
+            ctrl,
+        });
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<DynInst> {
+        vec![
+            DynInst::simple(Addr::new(0x1000), OpClass::IntAlu, Some(Reg::int(3)), [
+                Some(Reg::int(1)),
+                None,
+            ]),
+            DynInst {
+                addr: Addr::new(0x1004),
+                op: OpClass::CondBranch,
+                dest: None,
+                srcs: [Some(Reg::int(3)), None],
+                next_pc: Addr::new(0x2000),
+                ctrl: Some(DynCtrl {
+                    branch_id: Some(BranchId(7)),
+                    taken: true,
+                    target: Addr::new(0x2000),
+                    link: None,
+                }),
+            },
+            DynInst {
+                addr: Addr::new(0x2000),
+                op: OpClass::Call,
+                dest: Some(Reg::int(31)),
+                srcs: [None, None],
+                next_pc: Addr::new(0x3000),
+                ctrl: Some(DynCtrl {
+                    branch_id: None,
+                    taken: true,
+                    target: Addr::new(0x3000),
+                    link: Some(Addr::new(0x2004)),
+                }),
+            },
+            DynInst::simple(Addr::new(0x3000), OpClass::Load, Some(Reg::fp(2)), [
+                Some(Reg::int(4)),
+                None,
+            ]),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_field() {
+        let trace = sample();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).expect("write");
+        let back = read_trace(buf.as_slice()).expect("read");
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &[]).expect("write");
+        assert_eq!(read_trace(buf.as_slice()).expect("read"), vec![]);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = read_trace(&b"NOPE\x01\x00\x00\x00"[..]).expect_err("must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &[]).expect("write");
+        buf[4] = 99; // corrupt the version
+        let err = read_trace(buf.as_slice()).expect_err("must fail");
+        assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn truncated_stream_is_rejected() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &sample()).expect("write");
+        buf.truncate(buf.len() - 3);
+        assert!(read_trace(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn bad_register_byte_is_rejected() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &sample()).expect("write");
+        // Record layout: 16-byte header, then addr(8) op(1) dest(1)...
+        buf[16 + 9] = 0x80;
+        let err = read_trace(buf.as_slice()).expect_err("must fail");
+        assert!(err.to_string().contains("register"));
+    }
+}

@@ -1,0 +1,215 @@
+//! The fetch-unit interface and the trace cursor it consumes.
+//!
+//! Fetch mechanisms (implemented in the `fetchmech` core crate) are
+//! *trace-driven*: they see the correct-path dynamic instruction stream and
+//! model the per-cycle delivery constraints of their hardware — cache-block
+//! geometry, bank conflicts, branch-prediction outcomes, and misprediction
+//! stalls. Wrong-path instructions are not simulated; a mispredicted control
+//! transfer ends the cycle's packet and stalls fetch until the pipeline
+//! reports resolution (the paper's footnote 1: total penalty = fetch redirect
+//! penalty + cycles until the branch executes).
+
+use std::collections::VecDeque;
+
+use fetchmech_isa::DynInst;
+
+/// One fetched instruction plus its prediction outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchedInst {
+    /// The dynamic instruction.
+    pub inst: DynInst,
+    /// `true` if the branch predictor mispredicted this control transfer
+    /// (wrong direction or wrong target). Always `false` for non-control
+    /// instructions.
+    pub mispredicted: bool,
+}
+
+/// The instructions a fetch unit delivered in one cycle.
+#[derive(Debug, Clone, Default)]
+pub struct FetchPacket {
+    /// Delivered instructions, in program order. At most one — the last —
+    /// may be mispredicted.
+    pub insts: Vec<FetchedInst>,
+}
+
+impl FetchPacket {
+    /// An empty packet (a fetch bubble).
+    #[must_use]
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Number of instructions delivered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Returns `true` if nothing was delivered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Returns `true` if the packet ends in a mispredicted control transfer
+    /// (after which the fetch unit has stalled itself).
+    #[must_use]
+    pub fn ends_mispredicted(&self) -> bool {
+        self.insts.last().is_some_and(|f| f.mispredicted)
+    }
+}
+
+/// A fetch mechanism, driven one cycle at a time by the simulator.
+///
+/// The contract:
+///
+/// 1. [`FetchUnit::cycle`] is called once per simulated cycle in which the
+///    decoupling queue has room. It returns the instructions the mechanism
+///    could align and deliver that cycle (possibly none).
+/// 2. If the returned packet [ends mispredicted](FetchPacket::ends_mispredicted),
+///    the unit must deliver nothing until
+///    [`FetchUnit::on_mispredict_resolved`] is called with the cycle at which
+///    the offending instruction executed; delivery then resumes no earlier
+///    than `resolution + fetch_penalty` cycles.
+/// 3. `unresolved_branches` is the number of in-flight predicted conditional
+///    branches (dispatched or queued, not yet executed); implementations must
+///    not fetch *past* a conditional branch when the count has reached the
+///    machine's speculation depth.
+pub trait FetchUnit {
+    /// Produces this cycle's packet.
+    fn cycle(&mut self, cycle: u64, unresolved_branches: u32) -> FetchPacket;
+
+    /// Reports that the mispredicted control transfer at the end of a
+    /// previous packet executed at `cycle`.
+    fn on_mispredict_resolved(&mut self, cycle: u64);
+
+    /// Returns `true` once the trace is exhausted and everything has been
+    /// delivered.
+    fn done(&mut self) -> bool;
+
+    /// Total instructions delivered so far (the numerator of EIR).
+    fn delivered(&self) -> u64;
+
+    /// A short display name ("sequential", "collapsing", …).
+    fn name(&self) -> &'static str;
+}
+
+/// A peekable cursor over a dynamic instruction trace.
+///
+/// Fetch mechanisms look ahead up to one issue-width of instructions to build
+/// a packet, then consume what they delivered.
+///
+/// # Examples
+///
+/// ```
+/// use fetchmech_isa::{Addr, DynInst, OpClass};
+/// use fetchmech_pipeline::TraceCursor;
+///
+/// let insts = (0..4).map(|i| {
+///     DynInst::simple(Addr::from_word_index(i), OpClass::IntAlu, None, [None, None])
+/// });
+/// let mut cur = TraceCursor::new(insts);
+/// assert_eq!(cur.peek(2).unwrap().addr, Addr::from_word_index(2));
+/// cur.consume(3);
+/// assert_eq!(cur.peek(0).unwrap().addr, Addr::from_word_index(3));
+/// cur.consume(1);
+/// assert!(cur.is_done());
+/// ```
+pub struct TraceCursor {
+    iter: Box<dyn Iterator<Item = DynInst>>,
+    buf: VecDeque<DynInst>,
+}
+
+impl std::fmt::Debug for TraceCursor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceCursor").field("buffered", &self.buf.len()).finish()
+    }
+}
+
+impl TraceCursor {
+    /// Wraps a dynamic-instruction iterator.
+    pub fn new(iter: impl Iterator<Item = DynInst> + 'static) -> Self {
+        Self { iter: Box::new(iter), buf: VecDeque::new() }
+    }
+
+    /// Returns the instruction `offset` positions ahead of the cursor, if the
+    /// trace extends that far.
+    pub fn peek(&mut self, offset: usize) -> Option<&DynInst> {
+        while self.buf.len() <= offset {
+            let next = self.iter.next()?;
+            self.buf.push_back(next);
+        }
+        self.buf.get(offset)
+    }
+
+    /// Advances the cursor by `n` instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `n` instructions remain.
+    pub fn consume(&mut self, n: usize) {
+        for _ in 0..n {
+            if self.buf.pop_front().is_none() {
+                assert!(self.iter.next().is_some(), "consumed past end of trace");
+            }
+        }
+    }
+
+    /// Returns `true` when the trace is exhausted.
+    pub fn is_done(&mut self) -> bool {
+        self.peek(0).is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fetchmech_isa::{Addr, OpClass};
+
+    fn seq(n: u64) -> impl Iterator<Item = DynInst> {
+        (0..n).map(|i| DynInst::simple(Addr::from_word_index(i), OpClass::IntAlu, None, [None, None]))
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut c = TraceCursor::new(seq(5));
+        assert_eq!(c.peek(0).unwrap().addr, Addr::from_word_index(0));
+        assert_eq!(c.peek(0).unwrap().addr, Addr::from_word_index(0));
+        assert_eq!(c.peek(4).unwrap().addr, Addr::from_word_index(4));
+        assert!(c.peek(5).is_none());
+    }
+
+    #[test]
+    fn consume_advances() {
+        let mut c = TraceCursor::new(seq(5));
+        c.consume(2);
+        assert_eq!(c.peek(0).unwrap().addr, Addr::from_word_index(2));
+        c.consume(3);
+        assert!(c.is_done());
+    }
+
+    #[test]
+    #[should_panic(expected = "past end")]
+    fn overconsume_panics() {
+        let mut c = TraceCursor::new(seq(2));
+        c.consume(3);
+    }
+
+    #[test]
+    fn packet_mispredict_flag() {
+        let mut p = FetchPacket::empty();
+        assert!(!p.ends_mispredicted());
+        p.insts.push(FetchedInst {
+            inst: DynInst::simple(Addr::new(0), OpClass::IntAlu, None, [None, None]),
+            mispredicted: false,
+        });
+        assert!(!p.ends_mispredicted());
+        p.insts.push(FetchedInst {
+            inst: DynInst::simple(Addr::new(4), OpClass::IntAlu, None, [None, None]),
+            mispredicted: true,
+        });
+        assert!(p.ends_mispredicted());
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+}

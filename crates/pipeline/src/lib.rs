@@ -1,0 +1,33 @@
+//! # fetchmech-pipeline
+//!
+//! The out-of-order execution substrate for the `fetchmech` reproduction of
+//! the ISCA '95 fetch-mechanisms paper:
+//!
+//! * [`MachineModel`] — the P14 / P18 / P112 configurations of Table 1,
+//! * [`OooCore`] — a full-Tomasulo scheduling window with tag renaming,
+//!   fully-pipelined functional units, and a reorder buffer,
+//! * [`FetchUnit`] / [`FetchPacket`] / [`TraceCursor`] — the contract between
+//!   the fetch mechanisms (implemented in the `fetchmech` core crate) and the
+//!   pipeline driver.
+//!
+//! # Examples
+//!
+//! ```
+//! use fetchmech_pipeline::{MachineModel, OooCore};
+//!
+//! let machine = MachineModel::p14();
+//! assert_eq!(machine.issue_rate, 4);
+//! let core = OooCore::new(machine.ooo_config());
+//! assert!(core.drained());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod fetch;
+pub mod machine;
+pub mod ooo;
+
+pub use fetch::{FetchPacket, FetchUnit, FetchedInst, TraceCursor};
+pub use machine::MachineModel;
+pub use ooo::{OooConfig, OooCore, OooStats, Resolved};

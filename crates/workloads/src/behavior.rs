@@ -1,0 +1,317 @@
+//! Per-branch behaviour models.
+//!
+//! The paper drives its simulator with `spike` traces of SPEC92 binaries. We
+//! substitute synthetic programs whose conditional branches follow explicit
+//! stochastic models; the models are the "program input". Five *profile*
+//! inputs and one *test* input are derived from the base behaviour by
+//! deterministic perturbation, reproducing the §4 profile-driven methodology
+//! (profiles are measured on inputs 0–4 and the simulation runs input 5).
+
+use fetchmech_isa::rng::{splitmix64, Pcg64};
+use fetchmech_isa::BranchId;
+
+/// How a static conditional branch behaves dynamically.
+///
+/// Decisions are expressed in terms of the branch's *original* taken edge;
+/// the executor XORs with the terminator's `inverted` flag after compiler
+/// transforms.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BranchModel {
+    /// Independent coin flips: the original taken edge is followed with the
+    /// given probability.
+    Bernoulli(f64),
+    /// A loop backedge: on loop entry a trip count with the given mean is
+    /// sampled; the taken (continue) edge is followed until the count is
+    /// exhausted, then the branch exits and re-arms.
+    Loop {
+        /// Mean trip count (>= 1).
+        mean_trips: f64,
+    },
+    /// A loop backedge with the *same* trip count on every activation (an
+    /// inner loop over a fixed-size structure). Perfectly predictable by a
+    /// history-based predictor when `trips` fits in the history.
+    FixedLoop {
+        /// Trip count (>= 1).
+        trips: u64,
+    },
+    /// A repeating outcome pattern with occasional noise — the data-dependent
+    /// but *correlated* branches real integer code is full of, and the
+    /// reason two-level predictors beat per-branch counters.
+    Pattern {
+        /// Outcome bits, LSB first; bit `i` is the outcome at step `i`.
+        bits: u32,
+        /// Pattern length in `1..=32`.
+        len: u8,
+        /// Probability any step's outcome is flipped.
+        noise: f64,
+    },
+}
+
+impl BranchModel {
+    /// The long-run probability of following the original taken edge.
+    #[must_use]
+    pub fn taken_fraction(&self) -> f64 {
+        match *self {
+            BranchModel::Bernoulli(p) => p,
+            // A loop with mean t trips takes the backedge (t-1)/t of the time.
+            BranchModel::Loop { mean_trips } => {
+                let t = mean_trips.max(1.0);
+                (t - 1.0) / t
+            }
+            BranchModel::FixedLoop { trips } => {
+                let t = trips.max(1) as f64;
+                (t - 1.0) / t
+            }
+            BranchModel::Pattern { bits, len, noise } => {
+                let ones = (bits & mask(len)).count_ones() as f64;
+                let base = ones / f64::from(len);
+                base * (1.0 - noise) + (1.0 - base) * noise
+            }
+        }
+    }
+}
+
+fn mask(len: u8) -> u32 {
+    if len >= 32 {
+        u32::MAX
+    } else {
+        (1u32 << len) - 1
+    }
+}
+
+/// The behaviour of every branch in a program, indexed by [`BranchId`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BehaviorMap {
+    models: Vec<BranchModel>,
+}
+
+impl BehaviorMap {
+    /// Creates a map from dense per-branch models (index = `BranchId.0`).
+    #[must_use]
+    pub fn new(models: Vec<BranchModel>) -> Self {
+        Self { models }
+    }
+
+    /// Returns the model for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn model(&self, id: BranchId) -> BranchModel {
+        self.models[id.0 as usize]
+    }
+
+    /// Number of branches covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Returns `true` if no branches are covered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// Derives the behaviour for a particular program *input*.
+    ///
+    /// Input 0 is close to the base behaviour; each input perturbs branch
+    /// probabilities by up to `magnitude` (absolute, clamped to
+    /// `[0.02, 0.98]`) and loop trip means by up to ±`magnitude` relative,
+    /// deterministically per `(branch, input)`. Distinct inputs therefore
+    /// exercise the same code with shifted — but correlated — branch
+    /// statistics, exactly the property profile-driven optimization relies
+    /// on.
+    #[must_use]
+    pub fn for_input(&self, input: u32, magnitude: f64) -> BehaviorMap {
+        let models = self
+            .models
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                let mut r = Pcg64::new(splitmix64(
+                    0x5eed_0000_0000_0000 ^ (i as u64) << 20 ^ u64::from(input),
+                ));
+                match *m {
+                    BranchModel::Bernoulli(p) => {
+                        let delta = (r.next_f64() * 2.0 - 1.0) * magnitude;
+                        BranchModel::Bernoulli((p + delta).clamp(0.02, 0.98))
+                    }
+                    BranchModel::Loop { mean_trips } => {
+                        let factor = 1.0 + (r.next_f64() * 2.0 - 1.0) * magnitude;
+                        BranchModel::Loop { mean_trips: (mean_trips * factor).max(1.0) }
+                    }
+                    BranchModel::FixedLoop { trips } => {
+                        // Inputs scale the structure size; the count stays
+                        // fixed within a run.
+                        let factor = 1.0 + (r.next_f64() * 2.0 - 1.0) * magnitude;
+                        let scaled = ((trips as f64) * factor).round().max(1.0) as u64;
+                        BranchModel::FixedLoop { trips: scaled }
+                    }
+                    BranchModel::Pattern { bits, len, noise } => {
+                        // Inputs shift where the pattern "starts" in the data
+                        // (a rotation) and perturb the noise level.
+                        let l = u32::from(len.clamp(1, 32));
+                        let rot = r.next_u64() as u32 % l;
+                        let m = if l >= 32 { u32::MAX } else { (1 << l) - 1 };
+                        let b = bits & m;
+                        let rotated = ((b >> rot) | (b << (l - rot).min(31))) & m;
+                        let delta = (r.next_f64() * 2.0 - 1.0) * magnitude * 0.5;
+                        BranchModel::Pattern {
+                            bits: rotated,
+                            len,
+                            noise: (noise + delta).clamp(0.0, 0.4),
+                        }
+                    }
+                }
+            })
+            .collect();
+        BehaviorMap { models }
+    }
+}
+
+/// Runtime state the executor keeps per branch (loop trip counters).
+#[derive(Debug, Clone, Default)]
+pub struct BehaviorState {
+    /// `Some(n)` = a loop is live with `n` continues remaining.
+    remaining: Vec<Option<u64>>,
+    /// Position within a [`BranchModel::Pattern`].
+    position: Vec<u32>,
+}
+
+impl BehaviorState {
+    /// Creates state for `n` branches.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self { remaining: vec![None; n], position: vec![0; n] }
+    }
+
+    /// Decides whether the branch follows its *original taken* edge, updating
+    /// loop state.
+    pub fn decide(&mut self, id: BranchId, model: BranchModel, rng: &mut Pcg64) -> bool {
+        match model {
+            BranchModel::Bernoulli(p) => rng.chance(p),
+            BranchModel::Loop { mean_trips } => {
+                self.run_loop(id, || rng.trip_count(mean_trips))
+            }
+            BranchModel::FixedLoop { trips } => self.run_loop(id, || trips.max(1)),
+            BranchModel::Pattern { bits, len, noise } => {
+                let pos = &mut self.position[id.0 as usize];
+                let outcome = (bits >> *pos) & 1 == 1;
+                *pos = (*pos + 1) % u32::from(len.clamp(1, 32));
+                if noise > 0.0 && rng.chance(noise) {
+                    !outcome
+                } else {
+                    outcome
+                }
+            }
+        }
+    }
+
+    /// Shared loop mechanics: `fresh_trips` is consulted only when a new
+    /// activation starts.
+    fn run_loop(&mut self, id: BranchId, fresh_trips: impl FnOnce() -> u64) -> bool {
+        let slot = &mut self.remaining[id.0 as usize];
+        let left = match slot {
+            Some(left) => *left,
+            None => {
+                let trips = fresh_trips();
+                *slot = Some(trips - 1);
+                trips - 1
+            }
+        };
+        if left > 0 {
+            *slot = Some(left - 1);
+            true
+        } else {
+            *slot = None;
+            false
+        }
+    }
+
+    /// Clears all live loop counters and pattern positions (used at program
+    /// restart).
+    pub fn reset(&mut self) {
+        self.remaining.fill(None);
+        self.position.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bernoulli_fraction_matches() {
+        let mut st = BehaviorState::new(1);
+        let mut rng = Pcg64::new(1);
+        let m = BranchModel::Bernoulli(0.7);
+        let n = 100_000;
+        let taken = (0..n).filter(|_| st.decide(BranchId(0), m, &mut rng)).count();
+        let frac = taken as f64 / n as f64;
+        assert!((frac - 0.7).abs() < 0.01, "frac = {frac}");
+    }
+
+    #[test]
+    fn loop_model_runs_trips_then_exits() {
+        let mut st = BehaviorState::new(1);
+        let mut rng = Pcg64::new(2);
+        let m = BranchModel::Loop { mean_trips: 8.0 };
+        // Execute many loop "entries": count continues per activation.
+        let mut activations = 0u64;
+        let mut continues = 0u64;
+        for _ in 0..200_000 {
+            if st.decide(BranchId(0), m, &mut rng) {
+                continues += 1;
+            } else {
+                activations += 1;
+            }
+        }
+        let mean = continues as f64 / activations as f64 + 1.0;
+        assert!((mean - 8.0).abs() < 0.3, "observed mean trips {mean}");
+    }
+
+    #[test]
+    fn loop_taken_fraction_formula() {
+        let m = BranchModel::Loop { mean_trips: 10.0 };
+        assert!((m.taken_fraction() - 0.9).abs() < 1e-9);
+        assert_eq!(BranchModel::Bernoulli(0.25).taken_fraction(), 0.25);
+    }
+
+    #[test]
+    fn for_input_is_deterministic_and_bounded() {
+        let base = BehaviorMap::new(vec![
+            BranchModel::Bernoulli(0.5),
+            BranchModel::Loop { mean_trips: 10.0 },
+        ]);
+        let a = base.for_input(3, 0.1);
+        let b = base.for_input(3, 0.1);
+        assert_eq!(a, b, "same input must derive identical behaviour");
+        let c = base.for_input(4, 0.1);
+        assert_ne!(a, c, "distinct inputs must differ");
+        match a.model(BranchId(0)) {
+            BranchModel::Bernoulli(p) => assert!((p - 0.5).abs() <= 0.1 + 1e-9),
+            other => panic!("model kind changed: {other:?}"),
+        }
+        match a.model(BranchId(1)) {
+            BranchModel::Loop { mean_trips } => {
+                assert!((mean_trips - 10.0).abs() <= 1.0 + 1e-9);
+            }
+            other => panic!("model kind changed: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn state_reset_rearms_loops() {
+        let mut st = BehaviorState::new(1);
+        let mut rng = Pcg64::new(3);
+        let m = BranchModel::Loop { mean_trips: 100.0 };
+        // Start a loop, then reset mid-flight; the next decision samples a
+        // fresh trip count rather than continuing the old one.
+        let _ = st.decide(BranchId(0), m, &mut rng);
+        assert!(st.remaining[0].is_some());
+        st.reset();
+        assert!(st.remaining[0].is_none());
+    }
+}

@@ -1,0 +1,77 @@
+//! The §4 compiler story end to end: profile on training inputs, select
+//! traces, reorder the code, and measure what it buys each fetch mechanism
+//! on a held-out input.
+//!
+//! ```text
+//! cargo run --release --example compiler_pipeline [benchmark]
+//! ```
+
+use fetchmech::compiler::{reorder, Profile, TraceSelectConfig};
+use fetchmech::isa::{Layout, LayoutOptions};
+use fetchmech::pipeline::MachineModel;
+use fetchmech::workloads::{suite, InputId, Workload};
+use fetchmech::{simulate, SchemeKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "compress".to_owned());
+    let Some(bench) = suite::benchmark(&name) else {
+        eprintln!(
+            "unknown benchmark {name:?}; known: {:?} {:?}",
+            suite::INT_NAMES,
+            suite::FP_NAMES
+        );
+        std::process::exit(1);
+    };
+    let machine = MachineModel::p112();
+
+    // 1. Profile on the five training inputs (the test input is held out).
+    let profile = Profile::collect(&bench, &InputId::PROFILE, 100_000);
+    println!("profiled {name} on {} training inputs", InputId::PROFILE.len());
+
+    // 2. Trace selection + layout with branch-sense inversion.
+    let reordered = reorder(&bench.program, &profile, &TraceSelectConfig::default());
+    println!(
+        "reordered: {} blocks, {} traces, {} branch senses inverted",
+        bench.program.num_blocks(),
+        reordered.trace_ends.len(),
+        reordered.inverted_branches
+    );
+
+    // 3. Compare every fetch scheme on the held-out input, before and after.
+    let natural = Layout::natural(&bench.program, LayoutOptions::new(machine.block_bytes))?;
+    let optimized = reordered.layout(machine.block_bytes)?;
+    let reordered_bench = Workload {
+        spec: bench.spec.clone(),
+        program: reordered.program.clone(),
+        behaviors: bench.behaviors.clone(),
+    };
+
+    println!(
+        "\n{} on {}:\n{:<14} {:>10} {:>10} {:>8}",
+        name, machine.name, "scheme", "IPC(unord)", "IPC(reord)", "speedup"
+    );
+    for scheme in SchemeKind::ALL {
+        let before = {
+            let trace: Vec<_> = bench.executor(&natural, InputId::TEST, 200_000).collect();
+            simulate(&machine, scheme, trace.into_iter()).ipc()
+        };
+        let after = {
+            let trace: Vec<_> =
+                reordered_bench.executor(&optimized, InputId::TEST, 200_000).collect();
+            simulate(&machine, scheme, trace.into_iter()).ipc()
+        };
+        println!(
+            "{:<14} {:>10.3} {:>10.3} {:>7.1}%",
+            scheme.name(),
+            before,
+            after,
+            100.0 * (after / before - 1.0)
+        );
+    }
+    println!(
+        "\nReordering converts likely-taken branches into fall-throughs, so the\n\
+         simple schemes gain the most; combined with the collapsing buffer it\n\
+         gives the best overall result (the paper's closing recommendation)."
+    );
+    Ok(())
+}

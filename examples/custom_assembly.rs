@@ -1,0 +1,80 @@
+//! Write a program by hand in the text assembly format, annotate its branch
+//! behaviour, and measure how each fetch mechanism copes with it.
+//!
+//! ```text
+//! cargo run --release --example custom_assembly
+//! ```
+
+use fetchmech::isa::{disasm, Layout, LayoutOptions};
+use fetchmech::pipeline::MachineModel;
+use fetchmech::workloads::{parse_asm, Executor, InputId};
+use fetchmech::{simulate, SchemeKind};
+
+/// A hot loop whose body is a chain of two hammocks — the collapsing
+/// buffer's favourite food — plus a rarely-called slow path.
+const PROGRAM: &str = r"
+func main
+block head
+    alu  r1, r10
+    br   r1 ? mid : skip1 @p=0.85     ; short forward skip #1 (intra-block)
+block skip1
+    alu  r5, r11
+    fall mid
+block mid
+    ld   r3, [r12+4]
+    alu  r2, r11
+    br   r2 ? tail : skip2 @p=0.85    ; short forward skip #2 (intra-block)
+block skip2
+    mul  r4, r10, r11
+    fall tail
+block tail
+    alu  r7, r12
+    st   r3, [r13+8]
+    br   r6 ? head : cold @fixed=40   ; the loop backedge
+block cold
+    call slowpath, return=again
+block again
+    br   r1 ? head : out @p=0.95
+block out
+    halt
+
+func slowpath
+block s0
+    fadd f1, f2, f3
+    fmul f2, f1, f1
+    ret
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let asm = parse_asm(PROGRAM)?;
+    let machine = MachineModel::p112();
+    let layout = Layout::natural(&asm.program, LayoutOptions::new(machine.block_bytes))?;
+
+    println!("assembled {} blocks, {} branches:", asm.program.num_blocks(), asm.program.num_branches());
+    for inst in layout.code() {
+        let bar = if inst.addr.offset_words(machine.block_bytes) == 0 { "|" } else { " " };
+        println!("  {bar} {}", disasm(inst));
+    }
+
+    println!("\n{:<14} {:>6} {:>6} {:>10}", "scheme", "IPC", "EIR", "collapsed");
+    for scheme in SchemeKind::ALL {
+        let trace: Vec<_> = Executor::new(
+            &asm.program,
+            &layout,
+            asm.behaviors.clone(),
+            InputId::TEST,
+            42,
+            100_000,
+        )
+        .collect();
+        let r = simulate(&machine, scheme, trace.into_iter());
+        println!(
+            "{:<14} {:>6.3} {:>6.3} {:>10}",
+            scheme.name(),
+            r.ipc(),
+            r.eir(),
+            r.fetch.collapsed
+        );
+    }
+    Ok(())
+}

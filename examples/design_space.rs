@@ -1,0 +1,75 @@
+//! Design-space exploration beyond the paper's three fixed machines:
+//! sweep the speculation depth and BTB size and watch which fetch
+//! mechanisms care — an ablation of the paper's design choices.
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use fetchmech::isa::{Layout, LayoutOptions};
+use fetchmech::pipeline::MachineModel;
+use fetchmech::workloads::{suite, InputId};
+use fetchmech::{simulate, SchemeKind};
+
+fn run(machine: &MachineModel, scheme: SchemeKind) -> f64 {
+    let bench = suite::benchmark("gcc").expect("known benchmark");
+    let layout = Layout::natural(&bench.program, LayoutOptions::new(machine.block_bytes))
+        .expect("layout");
+    let trace: Vec<_> = bench.executor(&layout, InputId::TEST, 120_000).collect();
+    simulate(machine, scheme, trace.into_iter()).ipc()
+}
+
+fn main() {
+    let base = MachineModel::p112();
+    println!("ablation on {} running gcc\n", base.name);
+
+    println!("speculation depth (paper: 6 for P112):");
+    println!("{:<8} {:>12} {:>12}", "depth", "sequential", "collapsing");
+    for depth in [1u32, 2, 4, 6, 8, 12] {
+        let mut m = base.clone();
+        m.spec_depth = depth;
+        println!(
+            "{:<8} {:>12.3} {:>12.3}",
+            depth,
+            run(&m, SchemeKind::Sequential),
+            run(&m, SchemeKind::CollapsingBuffer)
+        );
+    }
+
+    println!("\nBTB entries (paper: 1024):");
+    println!("{:<8} {:>12} {:>12}", "entries", "sequential", "collapsing");
+    for entries in [64usize, 256, 1024, 4096] {
+        let mut m = base.clone();
+        m.btb_entries = entries;
+        println!(
+            "{:<8} {:>12.3} {:>12.3}",
+            entries,
+            run(&m, SchemeKind::Sequential),
+            run(&m, SchemeKind::CollapsingBuffer)
+        );
+    }
+
+    println!("\nreturn-address stack (extension; paper: none):");
+    println!("{:<8} {:>12} {:>12}", "entries", "sequential", "collapsing");
+    for entries in [0u32, 4, 16] {
+        let m = base.clone().with_ras(entries);
+        println!(
+            "{:<8} {:>12.3} {:>12.3}",
+            entries,
+            run(&m, SchemeKind::Sequential),
+            run(&m, SchemeKind::CollapsingBuffer)
+        );
+    }
+
+    println!("\nfetch misprediction penalty (paper: 2; shifter implementation: 3):");
+    println!("{:<8} {:>12} {:>12}", "penalty", "banked", "collapsing");
+    for penalty in [1u32, 2, 3, 4, 6] {
+        let m = base.clone().with_fetch_penalty(penalty);
+        println!(
+            "{:<8} {:>12.3} {:>12.3}",
+            penalty,
+            run(&m, SchemeKind::BankedSequential),
+            run(&m, SchemeKind::CollapsingBuffer)
+        );
+    }
+}

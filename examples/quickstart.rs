@@ -1,0 +1,49 @@
+//! Quickstart: simulate one benchmark on one machine with two fetch schemes
+//! and compare.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use fetchmech::isa::{Layout, LayoutOptions};
+use fetchmech::pipeline::MachineModel;
+use fetchmech::workloads::{suite, InputId};
+use fetchmech::{simulate, SchemeKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The machine: P112, the paper's most aggressive model (12-issue,
+    // 128 KB I-cache with 64-byte blocks, speculation beyond 6 branches).
+    let machine = MachineModel::p112();
+    println!("machine: {machine}");
+
+    // The workload: the synthetic stand-in for SPECint92 `eqntott` —
+    // extremely branchy code with many short forward (intra-block) branches.
+    let bench = suite::benchmark("eqntott").expect("eqntott is part of the suite");
+    let layout = Layout::natural(&bench.program, LayoutOptions::new(machine.block_bytes))?;
+    println!(
+        "workload: {} ({} static instructions)",
+        bench.spec.name,
+        layout.code().len()
+    );
+
+    // Simulate 200k dynamic instructions under each fetch mechanism.
+    println!("\n{:<14} {:>6} {:>6} {:>10} {:>12}", "scheme", "IPC", "EIR", "cycles", "mispredict%");
+    for scheme in SchemeKind::ALL {
+        let trace: Vec<_> = bench.executor(&layout, InputId::TEST, 200_000).collect();
+        let r = simulate(&machine, scheme, trace.into_iter());
+        println!(
+            "{:<14} {:>6.3} {:>6.3} {:>10} {:>11.1}%",
+            scheme.name(),
+            r.ipc(),
+            r.eir(),
+            r.cycles,
+            100.0 * r.fetch.mispredict_rate()
+        );
+    }
+    println!(
+        "\nThe collapsing buffer closes most of the gap between the banked scheme\n\
+         and the perfect bound by collapsing intra-block branch gaps (Table 2\n\
+         says ~40-50% of eqntott's taken branches stay within a 64-byte block)."
+    );
+    Ok(())
+}

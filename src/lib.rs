@@ -1,0 +1,13 @@
+//! # fetchmech-repro
+//!
+//! The meta-crate for the `fetchmech` reproduction of Conte, Menezes,
+//! Mills & Patel, *"Optimization of Instruction Fetch Mechanisms for High
+//! Issue Rates"* (ISCA 1995). It re-exports the [`fetchmech`] core crate
+//! (which itself re-exports every substrate) and hosts the workspace-level
+//! examples (`examples/`) and cross-crate integration tests (`tests/`).
+//!
+//! Start at [`fetchmech`]'s crate docs, `README.md`, and `DESIGN.md`.
+
+#![warn(missing_docs)]
+
+pub use fetchmech::*;
