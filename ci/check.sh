@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Hermetic CI gate: formatting, lints, tests. Runs fully offline — the
+# workspace has no registry dependencies (criterion lives in the excluded
+# crates/bench package; proptest is vendored under vendor/proptest).
+#
+# Usage: ci/check.sh [--no-lint]   (skip clippy, e.g. when it is not installed)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_clippy=1
+if [ "${1:-}" = "--no-lint" ]; then
+    run_clippy=0
+fi
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+if [ "$run_clippy" = 1 ]; then
+    echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+    cargo clippy --workspace --all-targets -- -D warnings
+fi
+
+echo "==> cargo build --workspace"
+cargo build --workspace
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> fetchmech-lint (full suite)"
+cargo run -q -p fetchmech-analysis --bin fetchmech-lint -- --deny-warnings
+
+echo "CI checks passed."

@@ -1,0 +1,217 @@
+//! `fetchmech-lint`: run the verification passes over suite benchmarks.
+//!
+//! ```text
+//! fetchmech-lint [OPTIONS] [BENCHMARK...]
+//!
+//!   BENCHMARK           suite benchmark names (default: the full suite)
+//!   --json              emit diagnostics as a JSON array
+//!   --pass NAME         run only the named pass (repeatable)
+//!   --insts N           profiling/diff instruction budget (default 20000)
+//!   --deny-warnings     exit nonzero on warnings too
+//!   --list-passes       print the registered passes and their rules
+//!   --help              print this help
+//! ```
+//!
+//! For every benchmark the tool generates the workload, collects a profile,
+//! selects traces, reorders, lays out (natural, reordered, pad-all,
+//! pad-trace), and runs every applicable pass over each artifact — including
+//! the dynamic trace diff. Exit status is 1 if any error-severity diagnostic
+//! was produced, 2 on usage errors.
+
+use std::process::ExitCode;
+
+use fetchmech_analysis::{report_human, report_json, Diagnostic, Registry, Severity, Target};
+use fetchmech_compiler::{layout_pad_all, reorder, select_traces, Profile, TraceSelectConfig};
+use fetchmech_isa::{Layout, LayoutOptions};
+use fetchmech_workloads::{suite, InputId};
+
+const BLOCK_BYTES: u64 = 16;
+
+struct Options {
+    benchmarks: Vec<String>,
+    json: bool,
+    passes: Vec<String>,
+    insts: u64,
+    deny_warnings: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: fetchmech-lint [--json] [--pass NAME]... [--insts N] \
+     [--deny-warnings] [--list-passes] [BENCHMARK...]"
+}
+
+fn list_passes() {
+    let registry = Registry::with_default_passes();
+    for pass in registry.passes() {
+        println!("{}: {}", pass.name(), pass.description());
+        for rule in pass.rules() {
+            println!("  {rule}");
+        }
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
+    let mut opts = Options {
+        benchmarks: Vec::new(),
+        json: false,
+        passes: Vec::new(),
+        insts: 20_000,
+        deny_warnings: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--list-passes" => {
+                list_passes();
+                return Ok(None);
+            }
+            "--pass" => {
+                let name = it.next().ok_or("--pass needs a pass name")?;
+                opts.passes.push(name.clone());
+            }
+            "--insts" => {
+                let n = it.next().ok_or("--insts needs a count")?;
+                opts.insts = n.parse().map_err(|_| format!("bad --insts value {n}"))?;
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return Ok(None);
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option {other}"));
+            }
+            name => opts.benchmarks.push(name.to_string()),
+        }
+    }
+    if opts.benchmarks.is_empty() {
+        opts.benchmarks = suite::INT_NAMES
+            .iter()
+            .chain(suite::FP_NAMES.iter())
+            .map(ToString::to_string)
+            .collect();
+    }
+    Ok(Some(opts))
+}
+
+fn lint_benchmark(
+    name: &str,
+    opts: &Options,
+    registry: &Registry,
+) -> Result<Vec<Diagnostic>, String> {
+    let w = suite::benchmark(name).ok_or_else(|| format!("unknown benchmark {name}"))?;
+    let profile = Profile::collect(&w, &InputId::PROFILE, opts.insts);
+    let config = TraceSelectConfig::default();
+    let traces = select_traces(&w.program, &profile, &config);
+    let reordered = reorder(&w.program, &profile, &config);
+    let natural = Layout::natural(&w.program, LayoutOptions::new(BLOCK_BYTES))
+        .map_err(|e| format!("{name}: natural layout failed: {e}"))?;
+    let pad_all = layout_pad_all(&w.program, BLOCK_BYTES)
+        .map_err(|e| format!("{name}: pad-all layout failed: {e}"))?;
+    let opt_layout = reordered
+        .layout(BLOCK_BYTES)
+        .map_err(|e| format!("{name}: reordered layout failed: {e}"))?;
+    let pad_trace = reordered
+        .layout_pad_trace(BLOCK_BYTES)
+        .map_err(|e| format!("{name}: pad-trace layout failed: {e}"))?;
+
+    let targets = [
+        Target::Program(&w.program),
+        Target::Layout {
+            program: &w.program,
+            layout: &natural,
+        },
+        Target::Layout {
+            program: &w.program,
+            layout: &pad_all,
+        },
+        Target::Layout {
+            program: &reordered.program,
+            layout: &opt_layout,
+        },
+        Target::Layout {
+            program: &reordered.program,
+            layout: &pad_trace,
+        },
+        Target::Profile {
+            program: &w.program,
+            profile: &profile,
+            config: Some(&config),
+        },
+        Target::Traces {
+            program: &w.program,
+            traces: &traces,
+        },
+        Target::Transform {
+            original: &w.program,
+            reordered: &reordered,
+        },
+        Target::TraceDiff {
+            workload: &w,
+            reordered: &reordered,
+            insts: opts.insts,
+        },
+    ];
+    let keep = |pass: &str| opts.passes.is_empty() || opts.passes.iter().any(|p| p == pass);
+    let mut diags = Vec::new();
+    for target in &targets {
+        diags.extend(registry.run_filtered(target, keep));
+    }
+    Ok(diags)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(Some(opts)) => opts,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fetchmech-lint: {e}");
+            eprintln!("{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+
+    let registry = Registry::with_default_passes();
+    for name in &opts.passes {
+        if !registry.passes().iter().any(|p| p.name() == name) {
+            eprintln!("fetchmech-lint: unknown pass {name} (see --list-passes)");
+            return ExitCode::from(2);
+        }
+    }
+    let mut all = Vec::new();
+    let mut failed = false;
+    for name in &opts.benchmarks {
+        match lint_benchmark(name, &opts, &registry) {
+            Ok(diags) => {
+                if !opts.json {
+                    let errors = diags
+                        .iter()
+                        .filter(|d| d.severity == Severity::Error)
+                        .count();
+                    println!("{name}: {} finding(s), {errors} error(s)", diags.len());
+                    if !diags.is_empty() {
+                        print!("{}", report_human(&diags));
+                    }
+                }
+                all.extend(diags);
+            }
+            Err(e) => {
+                eprintln!("fetchmech-lint: {e}");
+                failed = true;
+            }
+        }
+    }
+    if opts.json {
+        println!("{}", report_json(&all));
+    }
+    let bad = all.iter().any(|d| {
+        d.severity == Severity::Error || (opts.deny_warnings && d.severity == Severity::Warning)
+    });
+    if failed || bad {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,259 @@
+//! The diagnostic model: severities, locations, diagnostics, and reporters.
+
+use std::fmt;
+
+use fetchmech_isa::{Addr, BlockId, BranchId, FuncId};
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational note; never affects exit status.
+    Info,
+    /// Suspicious but not semantics-breaking.
+    Warning,
+    /// An invariant violation; the IR must not be consumed.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => write!(f, "info"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Where in the IR a diagnostic points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Location {
+    /// The whole program / artifact under analysis.
+    Program,
+    /// A function.
+    Func(FuncId),
+    /// A basic block.
+    Block(BlockId),
+    /// A static conditional branch.
+    Branch(BranchId),
+    /// A laid-out instruction address.
+    Addr(Addr),
+    /// A selected trace, by index into the trace list.
+    Trace(usize),
+    /// A dynamic-instruction position in a compared execution trace.
+    DynPos(usize),
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Location::Program => write!(f, "program"),
+            Location::Func(id) => write!(f, "{id}"),
+            Location::Block(id) => write!(f, "{id}"),
+            Location::Branch(id) => write!(f, "{id}"),
+            Location::Addr(a) => write!(f, "{a}"),
+            Location::Trace(i) => write!(f, "trace#{i}"),
+            Location::DynPos(i) => write!(f, "dyn#{i}"),
+        }
+    }
+}
+
+/// One finding from an analysis pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable rule identifier (e.g. `layout.addr-monotonic`). Mutation tests
+    /// key on these, so treat them as API.
+    pub rule_id: &'static str,
+    /// Severity of the finding.
+    pub severity: Severity,
+    /// IR location the finding points at.
+    pub location: Location,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] at {}: {}",
+            self.severity, self.rule_id, self.location, self.message
+        )
+    }
+}
+
+/// Collects diagnostics emitted by passes.
+#[derive(Debug, Default)]
+pub struct DiagnosticSink {
+    diags: Vec<Diagnostic>,
+}
+
+impl DiagnosticSink {
+    /// Creates an empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Emits a diagnostic.
+    pub fn emit(
+        &mut self,
+        rule_id: &'static str,
+        severity: Severity,
+        location: Location,
+        message: impl Into<String>,
+    ) {
+        self.diags.push(Diagnostic {
+            rule_id,
+            severity,
+            location,
+            message: message.into(),
+        });
+    }
+
+    /// Emits an error-severity diagnostic.
+    pub fn error(&mut self, rule_id: &'static str, location: Location, message: impl Into<String>) {
+        self.emit(rule_id, Severity::Error, location, message);
+    }
+
+    /// Emits a warning-severity diagnostic.
+    pub fn warn(&mut self, rule_id: &'static str, location: Location, message: impl Into<String>) {
+        self.emit(rule_id, Severity::Warning, location, message);
+    }
+
+    /// Consumes the sink, returning the collected diagnostics.
+    #[must_use]
+    pub fn into_diagnostics(self) -> Vec<Diagnostic> {
+        self.diags
+    }
+
+    /// Returns the diagnostics collected so far.
+    #[must_use]
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diags
+    }
+}
+
+/// Returns `true` if any diagnostic is error-severity.
+#[must_use]
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(|d| d.severity == Severity::Error)
+}
+
+/// Renders diagnostics for terminals: one `severity[rule] at loc: msg` line
+/// each, followed by a summary line.
+#[must_use]
+pub fn report_human(diags: &[Diagnostic]) -> String {
+    use fmt::Write as _;
+    let mut out = String::new();
+    for d in diags {
+        let _ = writeln!(out, "{d}");
+    }
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Warning)
+        .count();
+    let _ = writeln!(out, "{errors} error(s), {warnings} warning(s)");
+    out
+}
+
+/// Renders diagnostics as a JSON array (machine-readable reporter).
+///
+/// The schema is `[{"rule_id", "severity", "location", "message"}]`; it is
+/// produced without a serialization dependency so hermetic builds work.
+#[must_use]
+pub fn report_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {\"rule_id\": \"");
+        out.push_str(&escape_json(d.rule_id));
+        out.push_str("\", \"severity\": \"");
+        out.push_str(&d.severity.to_string());
+        out.push_str("\", \"location\": \"");
+        out.push_str(&escape_json(&d.location.to_string()));
+        out.push_str("\", \"message\": \"");
+        out.push_str(&escape_json(&d.message));
+        out.push_str("\"}");
+    }
+    if !diags.is_empty() {
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Diagnostic> {
+        vec![
+            Diagnostic {
+                rule_id: "prog.test-rule",
+                severity: Severity::Error,
+                location: Location::Block(BlockId(3)),
+                message: "something \"quoted\"\nbroke".to_string(),
+            },
+            Diagnostic {
+                rule_id: "layout.other",
+                severity: Severity::Warning,
+                location: Location::Addr(Addr::new(0x1_0000)),
+                message: "suspicious".to_string(),
+            },
+        ]
+    }
+
+    #[test]
+    fn human_report_has_summary() {
+        let text = report_human(&sample());
+        assert!(text.contains("error[prog.test-rule] at B3:"));
+        assert!(text.contains("1 error(s), 1 warning(s)"));
+    }
+
+    #[test]
+    fn json_report_escapes() {
+        let json = report_json(&sample());
+        assert!(json.contains("\\\"quoted\\\"\\nbroke"));
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        // No raw control characters survive.
+        assert!(!json.chars().any(|c| (c as u32) < 0x20 && c != '\n'));
+    }
+
+    #[test]
+    fn empty_json_is_empty_array() {
+        assert_eq!(report_json(&[]), "[]");
+    }
+
+    #[test]
+    fn has_errors_ignores_warnings() {
+        let mut diags = sample();
+        assert!(has_errors(&diags));
+        diags.retain(|d| d.severity != Severity::Error);
+        assert!(!has_errors(&diags));
+    }
+}

@@ -1,0 +1,118 @@
+//! # fetchmech-analysis
+//!
+//! Static-analysis and IR-verification layer for the `fetchmech`
+//! reproduction of the ISCA '95 fetch-mechanisms paper.
+//!
+//! The simulation pipeline trusts a lot of structure: control-flow graphs
+//! with dense ids and stable [`BranchId`](fetchmech_isa::BranchId)s, layouts
+//! whose addresses are contiguous and whose §4.1 nop padding actually aligns
+//! blocks, profiles whose counts conserve flow, and compiler transforms that
+//! change *placement* without changing *computation*. This crate makes that
+//! structure checkable:
+//!
+//! * a [`Diagnostic`] model with stable rule ids, severities, and human/JSON
+//!   reporters ([`report_human`], [`report_json`]),
+//! * a [`Registry`] of [`Pass`]es over typed [`Target`]s,
+//! * three pass families: structural ([`structural::ProgramPass`],
+//!   [`structural::LayoutPass`]), profile flow conservation
+//!   ([`flow::FlowPass`]), and transform equivalence
+//!   ([`transform::TracesPass`], [`transform::TransformPass`],
+//!   [`transform::TraceDiffPass`]),
+//! * debug-build construction hooks ([`install_debug_hooks`]) so every
+//!   artifact built anywhere in the process is verified at its source, and
+//! * the `fetchmech-lint` CLI, which runs the whole registry over any suite
+//!   benchmark.
+//!
+//! # Examples
+//!
+//! Verify a generated workload and its optimized layout:
+//!
+//! ```
+//! use fetchmech_analysis::{has_errors, verify_layout, verify_program};
+//! use fetchmech_compiler::{reorder, Profile, TraceSelectConfig};
+//! use fetchmech_workloads::{suite, InputId};
+//!
+//! let w = suite::benchmark("compress").expect("known benchmark");
+//! assert!(!has_errors(&verify_program(&w.program)));
+//!
+//! let profile = Profile::collect(&w, &InputId::PROFILE, 10_000);
+//! let r = reorder(&w.program, &profile, &TraceSelectConfig::default());
+//! let layout = r.layout(16).expect("valid order");
+//! assert!(!has_errors(&verify_layout(&r.program, &layout)));
+//! ```
+
+pub mod diag;
+pub mod flow;
+pub mod hooks;
+pub mod registry;
+pub mod structural;
+pub mod transform;
+
+pub use diag::{
+    has_errors, report_human, report_json, Diagnostic, DiagnosticSink, Location, Severity,
+};
+pub use hooks::install_debug_hooks;
+pub use registry::{Pass, Registry, Target};
+
+use fetchmech_compiler::{Profile, Reordered, Trace, TraceSelectConfig};
+use fetchmech_isa::{Layout, Program};
+use fetchmech_workloads::Workload;
+
+/// Verifies a control-flow graph with the default passes.
+#[must_use]
+pub fn verify_program(program: &Program) -> Vec<Diagnostic> {
+    Registry::with_default_passes().run(&Target::Program(program))
+}
+
+/// Verifies a layout (and its underlying program) with the default passes.
+#[must_use]
+pub fn verify_layout(program: &Program, layout: &Layout) -> Vec<Diagnostic> {
+    Registry::with_default_passes().run(&Target::Layout { program, layout })
+}
+
+/// Verifies a profile against its program, optionally precondition-checking
+/// a trace-selection configuration.
+#[must_use]
+pub fn verify_profile(
+    program: &Program,
+    profile: &Profile,
+    config: Option<&TraceSelectConfig>,
+) -> Vec<Diagnostic> {
+    Registry::with_default_passes().run(&Target::Profile {
+        program,
+        profile,
+        config,
+    })
+}
+
+/// Verifies trace-selection output against its program.
+#[must_use]
+pub fn verify_traces(program: &Program, traces: &[Trace]) -> Vec<Diagnostic> {
+    Registry::with_default_passes().run(&Target::Traces { program, traces })
+}
+
+/// Verifies a reorder transform statically (CFG isomorphism modulo
+/// branch-sense inversion).
+#[must_use]
+pub fn verify_transform(original: &Program, reordered: &Reordered) -> Vec<Diagnostic> {
+    Registry::with_default_passes().run(&Target::Transform {
+        original,
+        reordered,
+    })
+}
+
+/// Verifies a reorder transform dynamically by executing `insts`
+/// instructions of the workload on each side and diffing the projected
+/// streams.
+#[must_use]
+pub fn verify_trace_diff(
+    workload: &Workload,
+    reordered: &Reordered,
+    insts: u64,
+) -> Vec<Diagnostic> {
+    Registry::with_default_passes().run(&Target::TraceDiff {
+        workload,
+        reordered,
+        insts,
+    })
+}

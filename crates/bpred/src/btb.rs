@@ -27,8 +27,15 @@ impl BtbConfig {
     /// Panics if `block_bytes` is not a multiple of the word size.
     #[must_use]
     pub fn for_block_bytes(block_bytes: u64) -> Self {
-        assert!(block_bytes.is_multiple_of(WORD_BYTES), "block size must be whole words");
-        Self { entries: 1024, counter_bits: 2, interleave: (block_bytes / WORD_BYTES) as u32 }
+        assert!(
+            block_bytes.is_multiple_of(WORD_BYTES),
+            "block size must be whole words"
+        );
+        Self {
+            entries: 1024,
+            counter_bits: 2,
+            interleave: (block_bytes / WORD_BYTES) as u32,
+        }
     }
 
     fn counter_max(&self) -> u8 {
@@ -44,7 +51,11 @@ impl BtbConfig {
 impl Default for BtbConfig {
     /// 1024 entries, 2-bit counters, interleave 4 (the P14 geometry).
     fn default() -> Self {
-        Self { entries: 1024, counter_bits: 2, interleave: 4 }
+        Self {
+            entries: 1024,
+            counter_bits: 2,
+            interleave: 4,
+        }
     }
 }
 
@@ -81,7 +92,11 @@ impl Prediction {
     /// The not-taken / BTB-miss prediction.
     #[must_use]
     pub fn not_taken() -> Self {
-        Self { taken: false, target: None, hit: false }
+        Self {
+            taken: false,
+            target: None,
+            hit: false,
+        }
     }
 }
 
@@ -139,7 +154,11 @@ impl Btb {
             (1..=7).contains(&config.counter_bits),
             "counter bits must be in 1..=7"
         );
-        Self { config, entries: vec![None; config.entries], stats: BtbStats::default() }
+        Self {
+            config,
+            entries: vec![None; config.entries],
+            stats: BtbStats::default(),
+        }
     }
 
     /// Returns the configuration.
@@ -164,8 +183,16 @@ impl Btb {
         match self.entries[slot] {
             Some(e) if e.tag == addr.word_index() => {
                 self.stats.hits += 1;
-                let taken = if is_cond { e.counter >= self.config.taken_threshold() } else { true };
-                Prediction { taken, target: Some(e.target), hit: true }
+                let taken = if is_cond {
+                    e.counter >= self.config.taken_threshold()
+                } else {
+                    true
+                };
+                Prediction {
+                    taken,
+                    target: Some(e.target),
+                    hit: true,
+                }
             }
             _ => Prediction::not_taken(),
         }
@@ -178,8 +205,16 @@ impl Btb {
         let slot = self.slot(addr);
         match self.entries[slot] {
             Some(e) if e.tag == addr.word_index() => {
-                let taken = if is_cond { e.counter >= self.config.taken_threshold() } else { true };
-                Prediction { taken, target: Some(e.target), hit: true }
+                let taken = if is_cond {
+                    e.counter >= self.config.taken_threshold()
+                } else {
+                    true
+                };
+                Prediction {
+                    taken,
+                    target: Some(e.target),
+                    hit: true,
+                }
             }
             _ => Prediction::not_taken(),
         }
@@ -256,7 +291,10 @@ impl Btb {
             block_base.byte().is_multiple_of(block_bytes),
             "block base {block_base} not aligned to {block_bytes}-byte blocks"
         );
-        assert!(from_slot < insts_per_block, "from_slot {from_slot} out of range");
+        assert!(
+            from_slot < insts_per_block,
+            "from_slot {from_slot} out of range"
+        );
         let mut valid = Vec::with_capacity((insts_per_block - from_slot) as usize);
         let mut successor = block_base.add_words(u64::from(insts_per_block));
         let mut taken_slot = None;
@@ -272,7 +310,11 @@ impl Btb {
                 }
             }
         }
-        BlockPrediction { valid, successor, taken_slot }
+        BlockPrediction {
+            valid,
+            successor,
+            taken_slot,
+        }
     }
 
     /// Returns accumulated statistics.
@@ -329,7 +371,10 @@ mod tests {
         b.update(a, true, true, t); // counter = 2
         b.update(a, true, true, t); // counter = 3
         b.update(a, true, false, t); // counter = 2, still predicts taken
-        assert!(b.predict(a, true).taken, "one not-taken must not flip a saturated counter");
+        assert!(
+            b.predict(a, true).taken,
+            "one not-taken must not flip a saturated counter"
+        );
         b.update(a, true, false, t); // counter = 1
         assert!(!b.predict(a, true).taken);
         b.update(a, true, true, t); // counter = 2

@@ -27,7 +27,10 @@ impl GshareConfig {
     /// branches interleaved into the global history.)
     #[must_use]
     pub fn default_4k() -> Self {
-        Self { index_bits: 12, history_bits: 6 }
+        Self {
+            index_bits: 12,
+            history_bits: 6,
+        }
     }
 }
 
@@ -96,7 +99,12 @@ impl Gshare {
             "index bits must be in 1..=24"
         );
         assert!(config.history_bits <= 64, "history bits must be <= 64");
-        Self { config, table: vec![1; 1 << config.index_bits], history: 0, stats: GshareStats::default() }
+        Self {
+            config,
+            table: vec![1; 1 << config.index_bits],
+            history: 0,
+            stats: GshareStats::default(),
+        }
     }
 
     /// Returns the configuration.
@@ -115,7 +123,10 @@ impl Gshare {
         // Fold the history into the *upper* index bits so the PC dominates
         // the low bits: uncorrelated branches then perturb few table entries
         // instead of scattering every branch across the table.
-        let shift = self.config.index_bits.saturating_sub(self.config.history_bits);
+        let shift = self
+            .config
+            .index_bits
+            .saturating_sub(self.config.history_bits);
         let h = (self.history & hist_mask) << shift;
         ((addr.word_index() ^ h) & mask) as usize
     }
@@ -254,10 +265,20 @@ impl std::fmt::Display for PredictorKind {
         match self {
             PredictorKind::TwoBitBtb => f.write_str("2-bit BTB"),
             PredictorKind::Gshare(c) => {
-                write!(f, "gshare {}K/{}-bit", (1usize << c.index_bits) / 1024, c.history_bits)
+                write!(
+                    f,
+                    "gshare {}K/{}-bit",
+                    (1usize << c.index_bits) / 1024,
+                    c.history_bits
+                )
             }
             PredictorKind::Tournament(c) => {
-                write!(f, "tournament {}K/{}-bit", (1usize << c.index_bits) / 1024, c.history_bits)
+                write!(
+                    f,
+                    "tournament {}K/{}-bit",
+                    (1usize << c.index_bits) / 1024,
+                    c.history_bits
+                )
             }
         }
     }
@@ -284,7 +305,10 @@ mod tests {
     fn alternating_pattern_is_learned_via_history() {
         // A strict T/N alternation defeats a per-branch 2-bit counter but is
         // perfectly predictable with global history.
-        let mut g = Gshare::new(GshareConfig { index_bits: 12, history_bits: 8 });
+        let mut g = Gshare::new(GshareConfig {
+            index_bits: 12,
+            history_bits: 8,
+        });
         let pc = Addr::new(0x2000);
         let mut correct_tail = 0;
         for i in 0..2000u32 {
@@ -361,7 +385,11 @@ mod tests {
             }
             t.update(pc, taken, tp);
             let c = &mut bimodal_only[idx];
-            if taken { *c = (*c + 1).min(3) } else { *c = c.saturating_sub(1) }
+            if taken {
+                *c = (*c + 1).min(3)
+            } else {
+                *c = c.saturating_sub(1)
+            }
         }
         assert!(
             t_correct as f64 >= b_correct as f64 * 0.98,
@@ -390,6 +418,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "index bits")]
     fn zero_index_bits_panics() {
-        let _ = Gshare::new(GshareConfig { index_bits: 0, history_bits: 0 });
+        let _ = Gshare::new(GshareConfig {
+            index_bits: 0,
+            history_bits: 0,
+        });
     }
 }

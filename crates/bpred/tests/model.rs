@@ -17,7 +17,10 @@ struct RefBtb {
 
 impl RefBtb {
     fn new(entries: usize) -> Self {
-        Self { entries, slots: HashMap::new() }
+        Self {
+            entries,
+            slots: HashMap::new(),
+        }
     }
 
     fn predict(&self, addr: Addr, is_cond: bool) -> (bool, Option<u64>) {
@@ -37,7 +40,11 @@ impl RefBtb {
         match self.slots.get_mut(&slot) {
             Some(e) if e.0 == word => {
                 if is_cond {
-                    e.2 = if taken { (e.2 + 1).min(3) } else { e.2.saturating_sub(1) };
+                    e.2 = if taken {
+                        (e.2 + 1).min(3)
+                    } else {
+                        e.2.saturating_sub(1)
+                    };
                 }
                 if taken {
                     e.1 = target.byte();
@@ -63,7 +70,12 @@ struct Op {
 fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
     proptest::collection::vec(
         (0u64..4096, any::<bool>(), any::<bool>(), 0u64..4096).prop_map(
-            |(addr_word, is_cond, taken, target_word)| Op { addr_word, is_cond, taken, target_word },
+            |(addr_word, is_cond, taken, target_word)| Op {
+                addr_word,
+                is_cond,
+                taken,
+                target_word,
+            },
         ),
         1..400,
     )

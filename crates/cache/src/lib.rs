@@ -51,11 +51,24 @@ impl CacheConfig {
     /// `size_bytes >= block_bytes`, and `banks` is a nonzero power of two.
     #[must_use]
     pub fn new(size_bytes: u64, block_bytes: u64, banks: u32) -> Self {
-        assert!(size_bytes.is_power_of_two(), "cache size must be a power of two");
-        assert!(block_bytes.is_power_of_two(), "block size must be a power of two");
+        assert!(
+            size_bytes.is_power_of_two(),
+            "cache size must be a power of two"
+        );
+        assert!(
+            block_bytes.is_power_of_two(),
+            "block size must be a power of two"
+        );
         assert!(size_bytes >= block_bytes, "cache smaller than one block");
-        assert!(banks > 0 && banks.is_power_of_two(), "banks must be a nonzero power of two");
-        Self { size_bytes, block_bytes, banks }
+        assert!(
+            banks > 0 && banks.is_power_of_two(),
+            "banks must be a nonzero power of two"
+        );
+        Self {
+            size_bytes,
+            block_bytes,
+            banks,
+        }
     }
 
     /// Number of blocks (sets, for a direct-mapped cache).
@@ -140,7 +153,11 @@ impl ICache {
     /// Creates an empty (all-invalid) cache.
     #[must_use]
     pub fn new(config: CacheConfig) -> Self {
-        Self { config, tags: vec![None; config.num_sets() as usize], stats: CacheStats::default() }
+        Self {
+            config,
+            tags: vec![None; config.num_sets() as usize],
+            stats: CacheStats::default(),
+        }
     }
 
     /// Returns the configuration.
@@ -217,7 +234,11 @@ mod tests {
         // 0x000 and 0x100 map to the same set (16 sets * 16 B = 256 B stride).
         assert_eq!(c.access(Addr::new(0x000)), Access::Miss);
         assert_eq!(c.access(Addr::new(0x100)), Access::Miss);
-        assert_eq!(c.access(Addr::new(0x000)), Access::Miss, "must have been evicted");
+        assert_eq!(
+            c.access(Addr::new(0x000)),
+            Access::Miss,
+            "must have been evicted"
+        );
     }
 
     #[test]

@@ -16,7 +16,11 @@ struct RefCache {
 
 impl RefCache {
     fn new(cfg: &CacheConfig) -> Self {
-        Self { sets: cfg.num_sets(), block_bytes: cfg.block_bytes, resident: HashMap::new() }
+        Self {
+            sets: cfg.num_sets(),
+            block_bytes: cfg.block_bytes,
+            resident: HashMap::new(),
+        }
     }
 
     fn access(&mut self, addr: Addr) -> Access {

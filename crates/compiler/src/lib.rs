@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod hooks;
 pub mod pad;
 pub mod profile;
 pub mod reorder;

@@ -16,7 +16,10 @@ use crate::reorder::Reordered;
 ///
 /// Propagates [`LayoutError`] (cannot occur for natural order).
 pub fn layout_pad_all(program: &Program, block_bytes: u64) -> Result<Layout, LayoutError> {
-    Layout::natural(program, LayoutOptions::new(block_bytes).with_pad(PadMode::PadAll))
+    Layout::natural(
+        program,
+        LayoutOptions::new(block_bytes).with_pad(PadMode::PadAll),
+    )
 }
 
 /// Code-expansion report for one padding configuration (a Table 4 row cell).

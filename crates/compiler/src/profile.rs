@@ -39,13 +39,19 @@ impl Profile {
         };
         for &input in inputs {
             for inst in workload.executor(&layout, input, insts_per_input) {
-                let laid = layout.inst_at(inst.addr).expect("trace address maps to layout");
+                let laid = layout
+                    .inst_at(inst.addr)
+                    .expect("trace address maps to layout");
                 // Count block entries at the block's first instruction.
                 if layout.block_addr(laid.block) == inst.addr {
                     profile.block_count[laid.block.0 as usize] += 1;
                 }
                 if inst.op == OpClass::CondBranch {
-                    let id = inst.ctrl.expect("branch ctrl").branch_id.expect("branch id");
+                    let id = inst
+                        .ctrl
+                        .expect("branch ctrl")
+                        .branch_id
+                        .expect("branch id");
                     profile.total[id.0 as usize] += 1;
                     if inst.ctrl.expect("branch ctrl").taken {
                         profile.taken[id.0 as usize] += 1;
@@ -53,7 +59,40 @@ impl Profile {
                 }
             }
         }
+        crate::hooks::check_profile(program, &profile);
         profile
+    }
+
+    /// Builds a profile from raw per-block and per-branch count vectors.
+    ///
+    /// Intended for analysis tooling and tests that need to construct (or
+    /// deliberately corrupt) profiles without running an executor. `taken`
+    /// and `total` must have equal length; dimensions against any particular
+    /// program are *not* checked here — that is the analysis layer's job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `taken` and `total` differ in length.
+    #[must_use]
+    pub fn from_raw(block_count: Vec<u64>, taken: Vec<u64>, total: Vec<u64>) -> Self {
+        assert_eq!(taken.len(), total.len(), "taken/total length mismatch");
+        Self {
+            block_count,
+            taken,
+            total,
+        }
+    }
+
+    /// Number of blocks this profile has counts for.
+    #[must_use]
+    pub fn num_blocks(&self) -> usize {
+        self.block_count.len()
+    }
+
+    /// Number of conditional branches this profile has counts for.
+    #[must_use]
+    pub fn num_branches(&self) -> usize {
+        self.total.len()
     }
 
     /// Execution count of `block`.
@@ -160,8 +199,11 @@ mod tests {
         let p = Profile::collect(&w, &[InputId(0)], 20_000);
         for b in w.program.blocks() {
             if b.terminator.branch_id().is_some() {
-                let total: f64 =
-                    p.edge_weights(&w.program, b.id).iter().map(|(_, w)| w).sum();
+                let total: f64 = p
+                    .edge_weights(&w.program, b.id)
+                    .iter()
+                    .map(|(_, w)| w)
+                    .sum();
                 let count = p.block_count(b.id) as f64;
                 // Totals agree within rounding (branch may sit after a
                 // partial block execution at the trace cut).
@@ -177,7 +219,11 @@ mod tests {
     #[test]
     fn unexecuted_branch_defaults_to_half() {
         let w = workload();
-        let p = Profile { block_count: vec![0; 4], taken: vec![0], total: vec![0] };
+        let p = Profile {
+            block_count: vec![0; 4],
+            taken: vec![0],
+            total: vec![0],
+        };
         let _ = w;
         assert_eq!(p.taken_prob(BranchId(0)), 0.5);
     }

@@ -46,8 +46,8 @@ impl Reordered {
     ///
     /// Propagates [`LayoutError`].
     pub fn layout_pad_trace(&self, block_bytes: u64) -> Result<Layout, LayoutError> {
-        let opts = LayoutOptions::new(block_bytes)
-            .with_pad(PadMode::PadTrace(self.trace_ends.clone()));
+        let opts =
+            LayoutOptions::new(block_bytes).with_pad(PadMode::PadTrace(self.trace_ends.clone()));
         Layout::new(&self.program, &self.order, opts)
     }
 }
@@ -76,10 +76,15 @@ pub fn reorder(program: &Program, profile: &Profile, config: &TraceSelectConfig)
     let mut edits = HashMap::new();
     let mut inverted_branches = 0;
     for block in program.blocks() {
-        if let Terminator::CondBranch { id, srcs, taken, fall, inverted } = block.terminator {
-            let next = order
-                .get(position[&block.id] + 1)
-                .copied();
+        if let Terminator::CondBranch {
+            id,
+            srcs,
+            taken,
+            fall,
+            inverted,
+        } = block.terminator
+        {
+            let next = order.get(position[&block.id] + 1).copied();
             if Some(taken) == next && taken != fall {
                 edits.insert(
                     block.id,
@@ -95,10 +100,16 @@ pub fn reorder(program: &Program, profile: &Profile, config: &TraceSelectConfig)
             }
         }
     }
-    let program = program
-        .with_terminators(&edits)
-        .expect("sense inversion preserves program validity");
-    Reordered { program, order, trace_ends, inverted_branches }
+    let reordered = Reordered {
+        program: program
+            .with_terminators(&edits)
+            .expect("sense inversion preserves program validity"),
+        order,
+        trace_ends,
+        inverted_branches,
+    };
+    crate::hooks::check_reorder(program, &reordered);
+    reordered
 }
 
 /// Places traces function-major (functions in original order, for call
@@ -122,8 +133,11 @@ fn layout_order(program: &Program, profile: &Profile, traces: &[Trace]) -> Vec<B
         // via the chain preference.
         traces.sort_by_key(|t| t.blocks.iter().map(|b| b.0).min().unwrap_or(u32::MAX));
         let mut placed = vec![false; traces.len()];
-        let head_of: HashMap<BlockId, usize> =
-            traces.iter().enumerate().map(|(i, t)| (t.blocks[0], i)).collect();
+        let head_of: HashMap<BlockId, usize> = traces
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.blocks[0], i))
+            .collect();
         let mut last_tail: Option<BlockId> = None;
         for _ in 0..traces.len() {
             // Prefer the chain successor of the last placed tail.

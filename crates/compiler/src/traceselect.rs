@@ -33,7 +33,10 @@ pub struct TraceSelectConfig {
 
 impl Default for TraceSelectConfig {
     fn default() -> Self {
-        Self { threshold: 0.6, max_blocks: 64 }
+        Self {
+            threshold: 0.6,
+            max_blocks: 64,
+        }
     }
 }
 
@@ -80,8 +83,9 @@ pub fn select_traces(
             let tail = *blocks.last().expect("nonempty");
             let edges = profile.edge_weights(program, tail);
             let total: f64 = edges.iter().map(|(_, w)| w).sum();
-            let Some(&(succ, w)) =
-                edges.iter().max_by(|a, b| a.1.total_cmp(&b.1)) else { break };
+            let Some(&(succ, w)) = edges.iter().max_by(|a, b| a.1.total_cmp(&b.1)) else {
+                break;
+            };
             if total <= 0.0
                 || w / total < config.threshold
                 || selected[succ.0 as usize]
@@ -99,9 +103,12 @@ pub fn select_traces(
                 break;
             }
             let head = blocks[0];
-            let Some(preds) = pred_edges.get(&head) else { break };
-            let Some(&(pred, w)) =
-                preds.iter().max_by(|a, b| a.1.total_cmp(&b.1)) else { break };
+            let Some(preds) = pred_edges.get(&head) else {
+                break;
+            };
+            let Some(&(pred, w)) = preds.iter().max_by(|a, b| a.1.total_cmp(&b.1)) else {
+                break;
+            };
             // The predecessor joins the trace only if `head` is also the
             // predecessor's most likely successor (mutual-best, per Fisher).
             let pred_edges_fwd = profile.edge_weights(program, pred);
@@ -123,9 +130,14 @@ pub fn select_traces(
             blocks.insert(0, pred);
         }
 
-        let weight = blocks.iter().map(|&b| profile.block_count(b)).max().unwrap_or(0);
+        let weight = blocks
+            .iter()
+            .map(|&b| profile.block_count(b))
+            .max()
+            .unwrap_or(0);
         traces.push(Trace { blocks, weight });
     }
+    crate::hooks::check_traces(program, &traces);
     traces
 }
 
@@ -195,14 +207,24 @@ mod tests {
         let w = suite::benchmark("compress").expect("known");
         let p = Profile::collect(&w, &InputId::PROFILE, 50_000);
         let traces = select_traces(&w.program, &p, &TraceSelectConfig::default());
-        let longest = traces.iter().map(|t| t.blocks.len()).max().expect("nonempty");
-        assert!(longest >= 3, "expected multi-block traces, longest = {longest}");
+        let longest = traces
+            .iter()
+            .map(|t| t.blocks.len())
+            .max()
+            .expect("nonempty");
+        assert!(
+            longest >= 3,
+            "expected multi-block traces, longest = {longest}"
+        );
     }
 
     #[test]
     fn threshold_one_yields_mostly_singletons() {
         let (w, p) = profiled();
-        let strict = TraceSelectConfig { threshold: 1.01, max_blocks: 64 };
+        let strict = TraceSelectConfig {
+            threshold: 1.01,
+            max_blocks: 64,
+        };
         let traces = select_traces(&w.program, &p, &strict);
         assert!(traces.iter().all(|t| t.blocks.len() == 1));
     }

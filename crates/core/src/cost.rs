@@ -91,7 +91,11 @@ pub fn valid_select(k: u32) -> StructureCost {
 #[must_use]
 pub fn collapsing_shifter(k: u32) -> StructureCost {
     assert!(k > 0, "blocks hold at least one instruction");
-    let ceil_log2 = if k <= 1 { 0 } else { 32 - (k - 1).leading_zeros() };
+    let ceil_log2 = if k <= 1 {
+        0
+    } else {
+        32 - (k - 1).leading_zeros()
+    };
     StructureCost {
         name: "collapsing buffer (shifter)",
         transmission_gates: 64 * k - 32,
@@ -151,7 +155,7 @@ mod tests {
         let sh = collapsing_shifter(4);
         assert_eq!(sh.latches, 256); // 64k 1-bit registers
         assert_eq!(sh.transmission_gates, 224); // 64k - 32
-        // The paper's worked example: two latch delays for P14 (k = 4).
+                                                // The paper's worked example: two latch delays for P14 (k = 4).
         assert_eq!(sh.delay_worst, 2);
         assert_eq!(sh.delay_best, 1);
 

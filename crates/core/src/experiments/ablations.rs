@@ -66,7 +66,10 @@ impl Ablations {
     pub fn run(lab: &mut Lab) -> Self {
         let benches: Vec<_> = lab.class(WorkloadClass::Int).into_iter().cloned().collect();
         let mean = |lab: &Lab, m: &MachineModel, s: SchemeKind| {
-            let v: Vec<f64> = benches.iter().map(|w| lab.run_natural(m, s, w).ipc()).collect();
+            let v: Vec<f64> = benches
+                .iter()
+                .map(|w| lab.run_natural(m, s, w).ipc())
+                .collect();
             harmonic_mean(&v)
         };
         let point = |lab: &Lab, m: &MachineModel, value: u64| AblationRow {
@@ -108,7 +111,11 @@ impl Ablations {
                 .map(|n| point(lab, &base.clone().with_ras(n), u64::from(n)))
                 .collect(),
         };
-        Ablations { btb, spec_depth, ras }
+        Ablations {
+            btb,
+            spec_depth,
+            ras,
+        }
     }
 
     /// All three sweeps.
@@ -123,9 +130,17 @@ impl fmt::Display for Ablations {
         writeln!(f, "Ablations on P112 (integer, harmonic-mean IPC)")?;
         for sweep in self.sweeps() {
             writeln!(f, "\n{} (paper: {}):", sweep.name, sweep.paper_value)?;
-            writeln!(f, "{:>10} {:>12} {:>12}", "value", "sequential", "collapsing")?;
+            writeln!(
+                f,
+                "{:>10} {:>12} {:>12}",
+                "value", "sequential", "collapsing"
+            )?;
             for r in &sweep.rows {
-                let mark = if r.value == sweep.paper_value { " <- paper" } else { "" };
+                let mark = if r.value == sweep.paper_value {
+                    " <- paper"
+                } else {
+                    ""
+                };
                 writeln!(
                     f,
                     "{:>10} {:>12.3} {:>12.3}{mark}",
@@ -158,9 +173,7 @@ mod tests {
         // Speculation depth 1 strangles fetch; the paper's 6 is near the top.
         let sd = &a.spec_depth.rows;
         assert!(sd[0].collapsing < sd.last().expect("rows").collapsing);
-        assert!(
-            a.spec_depth.paper_row().collapsing > 0.95 * sd.last().expect("rows").collapsing
-        );
+        assert!(a.spec_depth.paper_row().collapsing > 0.95 * sd.last().expect("rows").collapsing);
 
         // A RAS only helps (or is neutral).
         let ras = &a.ras.rows;

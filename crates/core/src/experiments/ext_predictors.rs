@@ -70,8 +70,10 @@ impl ExtPredictors {
             for predictor in predictors {
                 let machine = base.clone().with_predictor(predictor);
                 let run_mean = |lab: &Lab, m: &MachineModel, s: SchemeKind| {
-                    let v: Vec<f64> =
-                        benches.iter().map(|w| lab.run_natural(m, s, w).ipc()).collect();
+                    let v: Vec<f64> = benches
+                        .iter()
+                        .map(|w| lab.run_natural(m, s, w).ipc())
+                        .collect();
                     harmonic_mean(&v)
                 };
                 let runs: Vec<_> = benches
@@ -79,8 +81,10 @@ impl ExtPredictors {
                     .map(|w| lab.run_natural(&machine, SchemeKind::CollapsingBuffer, w))
                     .collect();
                 let rates: Vec<f64> = runs.iter().map(|r| r.fetch.mispredict_rate()).collect();
-                let dir_rates: Vec<f64> =
-                    runs.iter().map(|r| r.fetch.cond_dir_mispredict_rate()).collect();
+                let dir_rates: Vec<f64> = runs
+                    .iter()
+                    .map(|r| r.fetch.cond_dir_mispredict_rate())
+                    .collect();
                 let shifter = machine.clone().with_fetch_penalty(3);
                 rows.push(ExtPredictorsRow {
                     machine: base.name.clone(),
@@ -99,7 +103,9 @@ impl ExtPredictors {
     /// The row for one machine and predictor.
     #[must_use]
     pub fn row(&self, machine: &str, predictor: PredictorKind) -> Option<&ExtPredictorsRow> {
-        self.rows.iter().find(|r| r.machine == machine && r.predictor == predictor)
+        self.rows
+            .iter()
+            .find(|r| r.machine == machine && r.predictor == predictor)
     }
 }
 
@@ -112,7 +118,14 @@ impl fmt::Display for ExtPredictors {
         writeln!(
             f,
             "{:>8} {:>16} {:>10} {:>10} {:>9} {:>14} {:>14} {:>9}",
-            "machine", "predictor", "mispred%", "dirmiss%", "banked", "collapsing(p2)", "collapsing(p3)", "viable?"
+            "machine",
+            "predictor",
+            "mispred%",
+            "dirmiss%",
+            "banked",
+            "collapsing(p2)",
+            "collapsing(p3)",
+            "viable?"
         )?;
         for r in &self.rows {
             writeln!(
@@ -148,7 +161,10 @@ mod tests {
         for machine in ["P14", "P18", "P112"] {
             let twobit = ext.row(machine, PredictorKind::TwoBitBtb).expect("row");
             let tourney = ext
-                .row(machine, PredictorKind::Tournament(GshareConfig::default_4k()))
+                .row(
+                    machine,
+                    PredictorKind::Tournament(GshareConfig::default_4k()),
+                )
                 .expect("row");
             assert!(
                 tourney.dir_mispredict_rate < twobit.dir_mispredict_rate,

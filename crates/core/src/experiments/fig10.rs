@@ -28,8 +28,10 @@ impl Fig10Row {
     /// Ratio for one hardware scheme.
     #[must_use]
     pub fn pct_of(&self, scheme: SchemeKind) -> f64 {
-        let idx =
-            SchemeKind::HARDWARE.iter().position(|&s| s == scheme).expect("hardware scheme");
+        let idx = SchemeKind::HARDWARE
+            .iter()
+            .position(|&s| s == scheme)
+            .expect("hardware scheme");
         self.pct[idx]
     }
 }
@@ -61,7 +63,11 @@ impl Fig10 {
                 for (i, scheme) in SchemeKind::HARDWARE.into_iter().enumerate() {
                     pct[i] = 100.0 * mean_eir(lab, scheme) / perfect;
                 }
-                rows.push(Fig10Row { machine: machine.name.clone(), class, pct });
+                rows.push(Fig10Row {
+                    machine: machine.name.clone(),
+                    class,
+                    pct,
+                });
             }
         }
         Fig10 { rows }
@@ -70,7 +76,9 @@ impl Fig10 {
     /// The row for one machine and class.
     #[must_use]
     pub fn row(&self, machine: &str, class: WorkloadClass) -> Option<&Fig10Row> {
-        self.rows.iter().find(|r| r.machine == machine && r.class == class)
+        self.rows
+            .iter()
+            .find(|r| r.machine == machine && r.class == class)
     }
 
     /// The per-machine series for one scheme and class (P14, P18, P112).

@@ -29,8 +29,10 @@ impl Fig11Row {
     /// IPC of one standard-penalty hardware scheme.
     #[must_use]
     pub fn ipc_of(&self, scheme: SchemeKind) -> f64 {
-        let idx =
-            SchemeKind::HARDWARE.iter().position(|&s| s == scheme).expect("hardware scheme");
+        let idx = SchemeKind::HARDWARE
+            .iter()
+            .position(|&s| s == scheme)
+            .expect("hardware scheme");
         self.hardware[idx]
     }
 }
@@ -49,8 +51,10 @@ impl Fig11 {
         for machine in MachineModel::paper_models() {
             let benches: Vec<_> = lab.class(WorkloadClass::Int).into_iter().cloned().collect();
             let mean_ipc = |lab: &Lab, machine: &MachineModel, scheme: SchemeKind| {
-                let values: Vec<f64> =
-                    benches.iter().map(|w| lab.run_natural(machine, scheme, w).ipc()).collect();
+                let values: Vec<f64> = benches
+                    .iter()
+                    .map(|w| lab.run_natural(machine, scheme, w).ipc())
+                    .collect();
                 harmonic_mean(&values)
             };
             let mut hardware = [0.0; 4];

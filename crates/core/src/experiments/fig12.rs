@@ -30,7 +30,10 @@ impl Fig12Row {
     /// Reordered IPC of one scheme.
     #[must_use]
     pub fn reordered_of(&self, scheme: SchemeKind) -> f64 {
-        let idx = SchemeKind::ALL.iter().position(|&s| s == scheme).expect("known scheme");
+        let idx = SchemeKind::ALL
+            .iter()
+            .position(|&s| s == scheme)
+            .expect("known scheme");
         self.reordered[idx]
     }
 }
@@ -61,8 +64,7 @@ impl Fig12 {
             let mut reordered_ipc: [Vec<f64>; 5] = Default::default();
             for &name in &names {
                 let w = lab.bench(name).clone();
-                seq_unordered
-                    .push(lab.run_natural(&machine, SchemeKind::Sequential, &w).ipc());
+                seq_unordered.push(lab.run_natural(&machine, SchemeKind::Sequential, &w).ipc());
                 perf_unordered.push(lab.run_natural(&machine, SchemeKind::Perfect, &w).ipc());
 
                 let rw = lab.reordered_workload(name);
@@ -91,7 +93,10 @@ impl Fig12 {
 
 impl fmt::Display for Fig12 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 12: IPC after code reordering (integer, harmonic mean)")?;
+        writeln!(
+            f,
+            "Figure 12: IPC after code reordering (integer, harmonic mean)"
+        )?;
         write!(f, "{:>8} {:>12}", "machine", "seq(unord)")?;
         for s in SchemeKind::ALL {
             write!(f, " {:>15}", format!("{}(r)", s.name()))?;

@@ -44,8 +44,11 @@ impl Fig13 {
     ///
     /// Panics if a layout fails to build (an internal invariant).
     pub fn run(lab: &mut Lab) -> Self {
-        let names: Vec<&'static str> =
-            lab.class(WorkloadClass::Int).into_iter().map(|w| w.spec.name).collect();
+        let names: Vec<&'static str> = lab
+            .class(WorkloadClass::Int)
+            .into_iter()
+            .map(|w| w.spec.name)
+            .collect();
         let mut rows = Vec::new();
         for machine in MachineModel::paper_models() {
             let bs = machine.block_bytes;
@@ -61,17 +64,22 @@ impl Fig13 {
 
                 let all_layout = layout_pad_all(&w.program, bs).expect("pad-all layout");
                 pad_all.push(
-                    lab.run_layout(&machine, SchemeKind::Sequential, &w, &all_layout).ipc(),
+                    lab.run_layout(&machine, SchemeKind::Sequential, &w, &all_layout)
+                        .ipc(),
                 );
 
                 let rw = lab.reordered_workload(name);
                 let r = lab.reordered(name).clone();
                 let rl = r.layout(bs).expect("reordered layout");
-                reordered
-                    .push(lab.run_layout(&machine, SchemeKind::Sequential, &rw, &rl).ipc());
+                reordered.push(
+                    lab.run_layout(&machine, SchemeKind::Sequential, &rw, &rl)
+                        .ipc(),
+                );
                 let tl = r.layout_pad_trace(bs).expect("pad-trace layout");
-                pad_trace
-                    .push(lab.run_layout(&machine, SchemeKind::Sequential, &rw, &tl).ipc());
+                pad_trace.push(
+                    lab.run_layout(&machine, SchemeKind::Sequential, &rw, &tl)
+                        .ipc(),
+                );
             }
             rows.push(Fig13Row {
                 machine: machine.name.clone(),
@@ -88,7 +96,10 @@ impl Fig13 {
 
 impl fmt::Display for Fig13 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 13: pad-all / pad-trace for sequential (integer, harmonic-mean IPC)")?;
+        writeln!(
+            f,
+            "Figure 13: pad-all / pad-trace for sequential (integer, harmonic-mean IPC)"
+        )?;
         writeln!(
             f,
             "{:>8} {:>10} {:>10} {:>10} {:>10} {:>12}",

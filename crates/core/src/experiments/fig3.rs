@@ -45,8 +45,7 @@ impl Fig3 {
         let mut rows = Vec::new();
         for machine in MachineModel::paper_models() {
             for class in [WorkloadClass::Int, WorkloadClass::Fp] {
-                let benches: Vec<_> =
-                    lab.class(class).into_iter().cloned().collect();
+                let benches: Vec<_> = lab.class(class).into_iter().cloned().collect();
                 let mut seq = Vec::new();
                 let mut per = Vec::new();
                 for w in &benches {
@@ -74,7 +73,11 @@ impl Fig3 {
 impl fmt::Display for Fig3 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Figure 3: sequential vs perfect (harmonic-mean IPC)")?;
-        writeln!(f, "{:<16} {:>8} {:>10} {:>9} {:>9}", "class", "machine", "sequential", "perfect", "headroom")?;
+        writeln!(
+            f,
+            "{:<16} {:>8} {:>10} {:>9} {:>9}",
+            "class", "machine", "sequential", "perfect", "headroom"
+        )?;
         for r in &self.rows {
             writeln!(
                 f,
@@ -112,11 +115,18 @@ mod tests {
         }
         // The headroom grows with issue rate for integer code.
         let int = fig.class_rows(WorkloadClass::Int);
-        assert!(int[2].headroom() > int[0].headroom(), "headroom must grow P14 -> P112");
+        assert!(
+            int[2].headroom() > int[0].headroom(),
+            "headroom must grow P14 -> P112"
+        );
         // FP headroom at P14 is the smallest headroom of all (the paper's
         // "possible exception" of FP on P14).
         let fp = fig.class_rows(WorkloadClass::Fp);
-        let min = fig.rows.iter().map(Fig3Row::headroom).fold(f64::INFINITY, f64::min);
+        let min = fig
+            .rows
+            .iter()
+            .map(Fig3Row::headroom)
+            .fold(f64::INFINITY, f64::min);
         assert!((fp[0].headroom() - min).abs() < 1e-9 || fp[0].headroom() < 0.25);
         // Display renders every machine name.
         let text = fig.to_string();

@@ -26,7 +26,10 @@ impl Fig9Row {
     /// IPC of one scheme.
     #[must_use]
     pub fn ipc_of(&self, scheme: SchemeKind) -> f64 {
-        let idx = SchemeKind::ALL.iter().position(|&s| s == scheme).expect("known scheme");
+        let idx = SchemeKind::ALL
+            .iter()
+            .position(|&s| s == scheme)
+            .expect("known scheme");
         self.ipc[idx]
     }
 }
@@ -53,7 +56,11 @@ impl Fig9 {
                         .collect();
                     ipc[i] = harmonic_mean(&per_bench);
                 }
-                rows.push(Fig9Row { machine: machine.name.clone(), class, ipc });
+                rows.push(Fig9Row {
+                    machine: machine.name.clone(),
+                    class,
+                    ipc,
+                });
             }
         }
         Fig9 { rows }
@@ -62,13 +69,18 @@ impl Fig9 {
     /// The row for one machine and class.
     #[must_use]
     pub fn row(&self, machine: &str, class: WorkloadClass) -> Option<&Fig9Row> {
-        self.rows.iter().find(|r| r.machine == machine && r.class == class)
+        self.rows
+            .iter()
+            .find(|r| r.machine == machine && r.class == class)
     }
 }
 
 impl fmt::Display for Fig9 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 9: IPC of the alignment mechanisms (harmonic mean)")?;
+        writeln!(
+            f,
+            "Figure 9: IPC of the alignment mechanisms (harmonic mean)"
+        )?;
         write!(f, "{:<16} {:>8}", "class", "machine")?;
         for s in SchemeKind::ALL {
             write!(f, " {:>12}", s.name())?;
@@ -102,10 +114,30 @@ mod tests {
             let coll = r.ipc_of(SchemeKind::CollapsingBuffer);
             let perf = r.ipc_of(SchemeKind::Perfect);
             let slack = 0.03; // sampling noise allowance on quick runs
-            assert!(inter >= seq - slack, "{} {:?}: {inter} < {seq}", r.machine, r.class);
-            assert!(banked >= inter - slack, "{} {:?}: {banked} < {inter}", r.machine, r.class);
-            assert!(coll >= banked - slack, "{} {:?}: {coll} < {banked}", r.machine, r.class);
-            assert!(perf >= coll - slack, "{} {:?}: {perf} < {coll}", r.machine, r.class);
+            assert!(
+                inter >= seq - slack,
+                "{} {:?}: {inter} < {seq}",
+                r.machine,
+                r.class
+            );
+            assert!(
+                banked >= inter - slack,
+                "{} {:?}: {banked} < {inter}",
+                r.machine,
+                r.class
+            );
+            assert!(
+                coll >= banked - slack,
+                "{} {:?}: {coll} < {banked}",
+                r.machine,
+                r.class
+            );
+            assert!(
+                perf >= coll - slack,
+                "{} {:?}: {perf} < {coll}",
+                r.machine,
+                r.class
+            );
         }
         // The collapsing buffer's edge over banked sequential is visible at
         // P112 for integer code (Table 2's intra-block branches).

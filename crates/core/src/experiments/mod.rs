@@ -57,13 +57,19 @@ impl ExpConfig {
     /// Full-length runs used by the `report` binary and EXPERIMENTS.md.
     #[must_use]
     pub fn full() -> Self {
-        Self { trace_len: 300_000, profile_len: 60_000 }
+        Self {
+            trace_len: 300_000,
+            profile_len: 60_000,
+        }
     }
 
     /// Reduced runs for unit tests and criterion benches.
     #[must_use]
     pub fn quick() -> Self {
-        Self { trace_len: 40_000, profile_len: 15_000 }
+        Self {
+            trace_len: 40_000,
+            profile_len: 15_000,
+        }
     }
 }
 
@@ -85,8 +91,15 @@ pub struct Lab {
 
 impl Lab {
     /// Creates a lab over the full fifteen-benchmark suite.
+    ///
+    /// In debug builds this also installs the `fetchmech-analysis` verifier
+    /// hooks, so every program, layout, profile, trace selection, and reorder
+    /// any driver produces is checked at its construction site.
     #[must_use]
     pub fn new(cfg: ExpConfig) -> Self {
+        if cfg!(debug_assertions) {
+            fetchmech_analysis::install_debug_hooks();
+        }
         Self {
             cfg,
             benchmarks: suite::full_suite(),
@@ -104,7 +117,10 @@ impl Lab {
     /// All benchmarks of the given class.
     #[must_use]
     pub fn class(&self, class: WorkloadClass) -> Vec<&Workload> {
-        self.benchmarks.iter().filter(|w| w.spec.class == class).collect()
+        self.benchmarks
+            .iter()
+            .filter(|w| w.spec.class == class)
+            .collect()
     }
 
     /// A benchmark by name.
@@ -146,13 +162,19 @@ impl Lab {
     pub fn reordered_workload(&mut self, name: &'static str) -> Workload {
         let r = self.reordered(name).program.clone();
         let w = self.bench(name);
-        Workload { spec: w.spec.clone(), program: r, behaviors: w.behaviors.clone() }
+        Workload {
+            spec: w.spec.clone(),
+            program: r,
+            behaviors: w.behaviors.clone(),
+        }
     }
 
     /// Collects the test-input trace of `workload` under `layout`.
     #[must_use]
     pub fn trace(&self, workload: &Workload, layout: &Layout) -> Vec<DynInst> {
-        workload.executor(layout, InputId::TEST, self.cfg.trace_len).collect()
+        workload
+            .executor(layout, InputId::TEST, self.cfg.trace_len)
+            .collect()
     }
 
     /// Runs one full simulation on the natural layout.

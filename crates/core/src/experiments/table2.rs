@@ -33,8 +33,10 @@ impl Table2 {
     /// Runs the experiment. One trace per benchmark per block size (block
     /// size changes the layout geometry, so the trace is regenerated).
     pub fn run(lab: &mut Lab) -> Self {
-        let block_sizes: Vec<u64> =
-            MachineModel::paper_models().iter().map(|m| m.block_bytes).collect();
+        let block_sizes: Vec<u64> = MachineModel::paper_models()
+            .iter()
+            .map(|m| m.block_bytes)
+            .collect();
         let mut rows = Vec::new();
         for class in [WorkloadClass::Int, WorkloadClass::Fp] {
             for w in lab.class(class).into_iter().cloned().collect::<Vec<_>>() {
@@ -48,7 +50,11 @@ impl Table2 {
                     }
                     pct[i] = stats.intra_block_pct();
                 }
-                rows.push(Table2Row { bench: w.spec.name, class: w.spec.class, pct });
+                rows.push(Table2Row {
+                    bench: w.spec.name,
+                    class: w.spec.class,
+                    pct,
+                });
             }
         }
         Table2 { rows }
@@ -64,7 +70,11 @@ impl Table2 {
 impl fmt::Display for Table2 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Table 2: % taken branches with intra-block targets")?;
-        writeln!(f, "{:<6} {:<10} {:>8} {:>8} {:>8}", "class", "benchmark", "P14/16B", "P18/32B", "P112/64B")?;
+        writeln!(
+            f,
+            "{:<6} {:<10} {:>8} {:>8} {:>8}",
+            "class", "benchmark", "P14/16B", "P18/32B", "P112/64B"
+        )?;
         for r in &self.rows {
             writeln!(
                 f,

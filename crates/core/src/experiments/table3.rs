@@ -50,8 +50,11 @@ impl Table3 {
     ///
     /// Panics if a reordered layout fails to build (an internal invariant).
     pub fn run(lab: &mut Lab) -> Self {
-        let names: Vec<&'static str> =
-            lab.class(WorkloadClass::Int).into_iter().map(|w| w.spec.name).collect();
+        let names: Vec<&'static str> = lab
+            .class(WorkloadClass::Int)
+            .into_iter()
+            .map(|w| w.spec.name)
+            .collect();
         let len = lab.config().trace_len;
         let rate = |w: &Workload, l: &Layout| {
             let mut taken = 0u64;
@@ -71,7 +74,11 @@ impl Table3 {
             let rw = lab.reordered_workload(name);
             let layout = lab.reordered(name).layout(16).expect("reordered layout");
             let after = rate(&rw, &layout);
-            rows.push(Table3Row { bench: name, before, after });
+            rows.push(Table3Row {
+                bench: name,
+                before,
+                after,
+            });
         }
         Table3 { rows }
     }
@@ -85,8 +92,15 @@ impl Table3 {
 
 impl fmt::Display for Table3 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Table 3: % reduction in taken branches due to code reordering")?;
-        writeln!(f, "{:<10} {:>12} {:>12} {:>11}", "benchmark", "before/inst", "after/inst", "reduction")?;
+        writeln!(
+            f,
+            "Table 3: % reduction in taken branches due to code reordering"
+        )?;
+        writeln!(
+            f,
+            "{:<10} {:>12} {:>12} {:>11}",
+            "benchmark", "before/inst", "after/inst", "reduction"
+        )?;
         for r in &self.rows {
             writeln!(
                 f,
@@ -119,7 +133,11 @@ mod tests {
                 r.before,
                 r.after
             );
-            assert!(r.reduction_pct() < 80.0, "{}: implausibly large reduction", r.bench);
+            assert!(
+                r.reduction_pct() < 80.0,
+                "{}: implausibly large reduction",
+                r.bench
+            );
         }
         // The paper reports reductions of roughly 15–45%; the majority of
         // benchmarks should clear 15%.

@@ -34,8 +34,11 @@ impl Table4 {
     ///
     /// Panics if a layout fails to build (an internal invariant).
     pub fn run(lab: &mut Lab) -> Self {
-        let names: Vec<&'static str> =
-            lab.class(WorkloadClass::Int).into_iter().map(|w| w.spec.name).collect();
+        let names: Vec<&'static str> = lab
+            .class(WorkloadClass::Int)
+            .into_iter()
+            .map(|w| w.spec.name)
+            .collect();
         let mut rows = Vec::new();
         for name in names {
             let program = lab.bench(name).program.clone();
@@ -43,12 +46,15 @@ impl Table4 {
             let mut pad_all = [0.0; 3];
             let mut pad_trace = [0.0; 3];
             for (i, bs) in [16u64, 32, 64].into_iter().enumerate() {
-                let (all, trace) =
-                    expansion(&program, &reordered, bs).expect("padding layouts");
+                let (all, trace) = expansion(&program, &reordered, bs).expect("padding layouts");
                 pad_all[i] = all.pad_pct;
                 pad_trace[i] = trace.pad_pct;
             }
-            rows.push(Table4Row { bench: name, pad_all, pad_trace });
+            rows.push(Table4Row {
+                bench: name,
+                pad_all,
+                pad_trace,
+            });
         }
         Table4 { rows }
     }
@@ -62,7 +68,10 @@ impl Table4 {
 
 impl fmt::Display for Table4 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Table 4: nops inserted by pad-all / pad-trace (% of original code size)")?;
+        writeln!(
+            f,
+            "Table 4: nops inserted by pad-all / pad-trace (% of original code size)"
+        )?;
         writeln!(
             f,
             "{:<10} {:>21} {:>21} {:>21}",

@@ -24,7 +24,10 @@ pub fn harmonic_mean(values: &[f64]) -> f64 {
     let recip_sum: f64 = values
         .iter()
         .map(|&v| {
-            assert!(v.is_finite() && v > 0.0, "harmonic mean of non-positive rate {v}");
+            assert!(
+                v.is_finite() && v > 0.0,
+                "harmonic mean of non-positive rate {v}"
+            );
             1.0 / v
         })
         .sum();

@@ -252,7 +252,12 @@ pub fn measure_eir(
             "EIR measurement runaway"
         );
     }
-    EirResult { scheme, cycles: cycle, delivered: fetch.delivered(), fetch: *fetch.stats() }
+    EirResult {
+        scheme,
+        cycles: cycle,
+        delivered: fetch.delivered(),
+        fetch: *fetch.stats(),
+    }
 }
 
 #[cfg(test)]
@@ -301,6 +306,10 @@ mod tests {
     fn eir_never_exceeds_issue_rate() {
         let machine = MachineModel::p18();
         let r = run(SchemeKind::Perfect, &machine, 20_000);
-        assert!(r.eir() <= f64::from(machine.issue_rate) + 1e-9, "eir = {}", r.eir());
+        assert!(
+            r.eir() <= f64::from(machine.issue_rate) + 1e-9,
+            "eir = {}",
+            r.eir()
+        );
     }
 }

@@ -329,7 +329,8 @@ impl AlignedFetchUnit {
         // Train with the resolved outcome. The update is applied at fetch
         // time: along the correct path this equals an in-order update at
         // resolution, the standard trace-driven-simulation treatment.
-        self.btb.update(inst.addr, is_cond, ctrl.taken, inst.next_pc);
+        self.btb
+            .update(inst.addr, is_cond, ctrl.taken, inst.next_pc);
         if is_cond {
             match &mut self.dir {
                 DirPredictor::BtbCounters => {}
@@ -423,7 +424,12 @@ impl FetchUnit for AlignedFetchUnit {
         // makes it unusable now; it does not stall the demand fetch.
         let second = second.filter(|&s| self.icache.access(s).is_hit());
 
-        let mut region = Region { fetch_block, second, in_second: false, crossed: false };
+        let mut region = Region {
+            fetch_block,
+            second,
+            in_second: false,
+            crossed: false,
+        };
         let mut packet = FetchPacket::empty();
         let mut conds_in_packet = 0u32;
         let mut ended: Option<Break> = None;
@@ -506,8 +512,11 @@ impl FetchUnit for AlignedFetchUnit {
                             Step::TakeAndBreak(Break::AtTaken)
                         }
                         SchemeKind::BankedSequential => {
-                            let current =
-                                if region.in_second { region.second } else { Some(region.fetch_block) };
+                            let current = if region.in_second {
+                                region.second
+                            } else {
+                                Some(region.fetch_block)
+                            };
                             if !region.crossed
                                 && Some(tblk) != current
                                 && Some(tblk) == region.second
@@ -521,8 +530,11 @@ impl FetchUnit for AlignedFetchUnit {
                             }
                         }
                         SchemeKind::CollapsingBuffer => {
-                            let current_blk =
-                                if region.in_second { region.second } else { Some(region.fetch_block) };
+                            let current_blk = if region.in_second {
+                                region.second
+                            } else {
+                                Some(region.fetch_block)
+                            };
                             if Some(tblk) == current_blk && target > inst.addr {
                                 // Forward intra-block: collapse the gap.
                                 self.stats.collapsed += 1;
@@ -549,7 +561,10 @@ impl FetchUnit for AlignedFetchUnit {
 
             match step {
                 Step::Take => {
-                    packet.insts.push(FetchedInst { inst, mispredicted: false });
+                    packet.insts.push(FetchedInst {
+                        inst,
+                        mispredicted: false,
+                    });
                 }
                 Step::TakeAndBreak(b) => {
                     let mispredicted = matches!(b, Break::Mispredict);
@@ -570,15 +585,21 @@ impl FetchUnit for AlignedFetchUnit {
         if n > 0 {
             self.stats.packets += 1;
             self.delivered += n as u64;
-            self.delivered_useful +=
-                packet.insts.iter().filter(|f| f.inst.op != OpClass::Nop).count() as u64;
+            self.delivered_useful += packet
+                .insts
+                .iter()
+                .filter(|f| f.inst.op != OpClass::Nop)
+                .count() as u64;
             self.cursor.consume(n);
         }
         packet
     }
 
     fn on_mispredict_resolved(&mut self, cycle: u64) {
-        debug_assert!(self.waiting_resolve, "resolution without an outstanding mispredict");
+        debug_assert!(
+            self.waiting_resolve,
+            "resolution without an outstanding mispredict"
+        );
         self.waiting_resolve = false;
         self.resume_at = cycle + u64::from(self.cfg.fetch_penalty);
     }
@@ -631,7 +652,11 @@ mod tests {
             op: OpClass::CondBranch,
             dest: None,
             srcs: [None, None],
-            next_pc: if taken { Addr::new(target) } else { Addr::new(addr + 4) },
+            next_pc: if taken {
+                Addr::new(target)
+            } else {
+                Addr::new(addr + 4)
+            },
             ctrl: Some(DynCtrl {
                 branch_id: Some(fetchmech_isa::BranchId(0)),
                 taken,
@@ -648,7 +673,12 @@ mod tests {
             dest: None,
             srcs: [None, None],
             next_pc: Addr::new(target),
-            ctrl: Some(DynCtrl { branch_id: None, taken: true, target: Addr::new(target), link: None }),
+            ctrl: Some(DynCtrl {
+                branch_id: None,
+                taken: true,
+                target: Addr::new(target),
+                link: None,
+            }),
         }
     }
 
@@ -765,13 +795,21 @@ mod tests {
         let p = steady_packet(&mut u, 10);
         // Even correctly predicted, sequential cannot pass the taken branch.
         assert_eq!(p.len(), 2, "{p:?}");
-        assert!(!p.ends_mispredicted(), "steady-state prediction must be correct");
+        assert!(
+            !p.ends_mispredicted(),
+            "steady-state prediction must be correct"
+        );
     }
 
     #[test]
     fn banked_crosses_predicted_inter_block_branch() {
         // Branch in block 0x1000 (bank 0) to block 0x2010 (bank 1).
-        let body = vec![alu(0x1000), br(0x1004, true, 0x2010), alu(0x2010), jmp(0x2014, 0x1000)];
+        let body = vec![
+            alu(0x1000),
+            br(0x1004, true, 0x2010),
+            alu(0x2010),
+            jmp(0x2014, 0x1000),
+        ];
         let mut u = unit(SchemeKind::BankedSequential, cycle_trace(body, 6));
         let p = steady_packet(&mut u, 8);
         assert_eq!(p.len(), 4, "expected branch crossing, got {p:?}");
@@ -791,22 +829,33 @@ mod tests {
         ];
         let mut u = unit(SchemeKind::BankedSequential, cycle_trace(body, 6));
         let p = steady_packet(&mut u, 10);
-        assert_eq!(p.len(), 2, "bank conflict must stop delivery at the branch: {p:?}");
+        assert_eq!(
+            p.len(),
+            2,
+            "bank conflict must stop delivery at the branch: {p:?}"
+        );
         assert!(u.stats().bank_conflicts >= 1);
     }
 
     #[test]
     fn banked_cannot_align_intra_block_target() {
         // Forward branch within one block: banked stops, collapsing continues.
-        let body =
-            vec![alu(0x1000), br(0x1004, true, 0x100c), alu(0x100c), jmp(0x1010, 0x1000)];
+        let body = vec![
+            alu(0x1000),
+            br(0x1004, true, 0x100c),
+            alu(0x100c),
+            jmp(0x1010, 0x1000),
+        ];
         let mut u = unit(SchemeKind::BankedSequential, cycle_trace(body.clone(), 6));
         let p = steady_packet(&mut u, 8);
         assert_eq!(p.len(), 2, "{p:?}");
 
         let mut c = unit(SchemeKind::CollapsingBuffer, cycle_trace(body, 6));
         let p = steady_packet(&mut c, 8);
-        assert!(p.len() >= 3, "collapsing buffer must collapse the gap: {p:?}");
+        assert!(
+            p.len() >= 3,
+            "collapsing buffer must collapse the gap: {p:?}"
+        );
         assert!(c.stats().collapsed >= 1);
     }
 
@@ -816,7 +865,11 @@ mod tests {
         let body = vec![alu(0x1000), br(0x1004, true, 0x1000)];
         let mut u = unit(SchemeKind::CollapsingBuffer, cycle_trace(body, 8));
         let p = steady_packet(&mut u, 6);
-        assert_eq!(p.len(), 2, "backward intra-block branches are unsupported: {p:?}");
+        assert_eq!(
+            p.len(),
+            2,
+            "backward intra-block branches are unsupported: {p:?}"
+        );
     }
 
     #[test]
@@ -838,7 +891,12 @@ mod tests {
 
     #[test]
     fn perfect_ignores_alignment() {
-        let body = vec![alu(0x1000), br(0x1004, true, 0x2010), alu(0x2010), jmp(0x2014, 0x1000)];
+        let body = vec![
+            alu(0x1000),
+            br(0x1004, true, 0x2010),
+            alu(0x2010),
+            jmp(0x2014, 0x1000),
+        ];
         let mut u = unit(SchemeKind::Perfect, cycle_trace(body, 6));
         let p = steady_packet(&mut u, 8);
         assert_eq!(p.len(), 4, "{p:?}");
@@ -853,7 +911,10 @@ mod tests {
         assert!(u.cycle(0, 0).is_empty());
         let p = u.cycle(10, 0);
         assert_eq!(p.len(), 2);
-        assert!(p.ends_mispredicted(), "cold BTB must mispredict the first taken branch");
+        assert!(
+            p.ends_mispredicted(),
+            "cold BTB must mispredict the first taken branch"
+        );
         // Stalled until resolution...
         assert!(u.cycle(11, 0).is_empty());
         assert!(u.cycle(12, 0).is_empty());
@@ -909,7 +970,11 @@ mod tests {
         for c in 12..15 {
             sizes.push(u.cycle(c, 0).len());
         }
-        assert_eq!(sizes, vec![2, 2, 2], "expected seamless taken-branch fetch: {sizes:?}");
+        assert_eq!(
+            sizes,
+            vec![2, 2, 2],
+            "expected seamless taken-branch fetch: {sizes:?}"
+        );
     }
 
     #[test]
@@ -923,7 +988,12 @@ mod tests {
     #[test]
     fn nops_are_excluded_from_useful_count() {
         let mut trace = run(0x1000, 2);
-        trace.push(DynInst::simple(Addr::new(0x1008), OpClass::Nop, None, [None, None]));
+        trace.push(DynInst::simple(
+            Addr::new(0x1008),
+            OpClass::Nop,
+            None,
+            [None, None],
+        ));
         trace.push(alu(0x100c));
         let mut u = unit(SchemeKind::Sequential, trace);
         let _ = drain(&mut u);
@@ -963,7 +1033,11 @@ mod predictor_tests {
             op: OpClass::CondBranch,
             dest: None,
             srcs: [None, None],
-            next_pc: if taken { Addr::new(target) } else { Addr::new(addr + 4) },
+            next_pc: if taken {
+                Addr::new(target)
+            } else {
+                Addr::new(addr + 4)
+            },
             ctrl: Some(DynCtrl {
                 branch_id: None,
                 taken,
@@ -1081,7 +1155,11 @@ mod predictor_tests {
         // 4 nested calls with a 2-entry RAS; return in LIFO order.
         let depth = 4u64;
         for d in 0..depth {
-            trace.push(call(0x1000 + d * 0x100, 0x1000 + (d + 1) * 0x100, 0x2000 + d * 0x100));
+            trace.push(call(
+                0x1000 + d * 0x100,
+                0x1000 + (d + 1) * 0x100,
+                0x2000 + d * 0x100,
+            ));
         }
         for d in (0..depth).rev() {
             trace.push(ret(0x5000 + d * 4, 0x2000 + d * 0x100));

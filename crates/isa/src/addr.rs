@@ -64,7 +64,10 @@ impl Addr {
     /// Panics if `block_bytes` is not a power of two.
     #[must_use]
     pub fn block_base(self, block_bytes: u64) -> Self {
-        assert!(block_bytes.is_power_of_two(), "block size must be a power of two");
+        assert!(
+            block_bytes.is_power_of_two(),
+            "block size must be a power of two"
+        );
         Self(self.0 & !(block_bytes - 1))
     }
 
@@ -75,7 +78,10 @@ impl Addr {
     /// Panics if `block_bytes` is not a power of two.
     #[must_use]
     pub fn block_index(self, block_bytes: u64) -> u64 {
-        assert!(block_bytes.is_power_of_two(), "block size must be a power of two");
+        assert!(
+            block_bytes.is_power_of_two(),
+            "block size must be a power of two"
+        );
         self.0 / block_bytes
     }
 

@@ -80,13 +80,23 @@ impl Inst {
     #[must_use]
     pub fn new(op: OpClass, dest: Option<Reg>, srcs: [Option<Reg>; 2]) -> Self {
         assert!(!op.is_control(), "control op {op} must be a terminator");
-        Self { op, dest, srcs, imm: 0 }
+        Self {
+            op,
+            dest,
+            srcs,
+            imm: 0,
+        }
     }
 
     /// Creates a no-operation.
     #[must_use]
     pub fn nop() -> Self {
-        Self { op: OpClass::Nop, dest: None, srcs: [None, None], imm: 0 }
+        Self {
+            op: OpClass::Nop,
+            dest: None,
+            srcs: [None, None],
+            imm: 0,
+        }
     }
 
     /// Sets the immediate field (builder style).
@@ -321,7 +331,40 @@ impl Program {
             num_branches: self.num_branches,
         };
         prog.validate()?;
+        crate::hooks::check_program(&prog);
         Ok(prog)
+    }
+
+    /// Decomposes the program into its raw parts.
+    ///
+    /// Together with [`Program::from_raw`] this is the escape hatch for
+    /// verification tooling: tests corrupt one field of a valid program and
+    /// assert the analysis layer catches exactly that corruption.
+    #[must_use]
+    pub fn into_raw(self) -> RawProgram {
+        RawProgram {
+            blocks: self.blocks,
+            func_entries: self.func_entries,
+            entry: self.entry,
+            num_branches: self.num_branches,
+        }
+    }
+
+    /// Reassembles a program from raw parts **without validation** and
+    /// without running verification hooks.
+    ///
+    /// The result may violate every invariant [`ProgramBuilder::finish`]
+    /// enforces; anything consuming it must be prepared for out-of-range
+    /// ids. Intended for the analysis layer's mutation tests and for tools
+    /// that deliberately need malformed IR.
+    #[must_use]
+    pub fn from_raw(raw: RawProgram) -> Self {
+        Self {
+            blocks: raw.blocks,
+            func_entries: raw.func_entries,
+            entry: raw.entry,
+            num_branches: raw.num_branches,
+        }
     }
 
     fn validate(&self) -> Result<(), ValidateError> {
@@ -343,14 +386,20 @@ impl Program {
         let mut seen_branch = vec![false; self.num_branches as usize];
         for (idx, b) in self.blocks.iter().enumerate() {
             if b.id.0 as usize != idx {
-                return Err(ValidateError::BlockIdMismatch { expected: idx as u32, found: b.id });
+                return Err(ValidateError::BlockIdMismatch {
+                    expected: idx as u32,
+                    found: b.id,
+                });
             }
             if b.func.0 as usize >= self.func_entries.len() {
                 return Err(ValidateError::UnknownFunc(b.func));
             }
             for inst in &b.insts {
                 if inst.op.is_control() {
-                    return Err(ValidateError::ControlInBody { block: b.id, op: inst.op });
+                    return Err(ValidateError::ControlInBody {
+                        block: b.id,
+                        op: inst.op,
+                    });
                 }
             }
             match b.terminator {
@@ -358,7 +407,9 @@ impl Program {
                     check(next)?;
                     self.check_same_func(b, next)?;
                 }
-                Terminator::CondBranch { id, taken, fall, .. } => {
+                Terminator::CondBranch {
+                    id, taken, fall, ..
+                } => {
                     check(taken)?;
                     check(fall)?;
                     self.check_same_func(b, taken)?;
@@ -382,7 +433,10 @@ impl Program {
                     self.check_same_func(b, return_to)?;
                     let callee_func = self.blocks[callee.0 as usize].func;
                     if self.func_entries[callee_func.0 as usize] != callee {
-                        return Err(ValidateError::CallToNonEntry { block: b.id, callee });
+                        return Err(ValidateError::CallToNonEntry {
+                            block: b.id,
+                            callee,
+                        });
                     }
                 }
                 Terminator::Return | Terminator::Halt => {}
@@ -401,6 +455,23 @@ impl Program {
         }
         Ok(())
     }
+}
+
+/// The raw, unvalidated parts of a [`Program`].
+///
+/// Produced by [`Program::into_raw`] and consumed by [`Program::from_raw`];
+/// every field is public so tests and tooling can corrupt exactly one
+/// invariant at a time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawProgram {
+    /// Basic blocks, normally indexed by their own ids.
+    pub blocks: Vec<Block>,
+    /// Entry block of each function.
+    pub func_entries: Vec<BlockId>,
+    /// Program entry block.
+    pub entry: BlockId,
+    /// Number of allocated conditional-branch ids.
+    pub num_branches: u32,
 }
 
 /// Errors produced by [`ProgramBuilder::finish`] and
@@ -529,7 +600,10 @@ impl ProgramBuilder {
     ///
     /// Panics if `func` was not created by this builder.
     pub fn new_block(&mut self, func: FuncId) -> BlockId {
-        assert!((func.0 as usize) < self.func_entries.len(), "unknown function {func}");
+        assert!(
+            (func.0 as usize) < self.func_entries.len(),
+            "unknown function {func}"
+        );
         let id = BlockId(self.blocks.len() as u32);
         self.blocks.push((func, Vec::new(), None));
         let entry = &mut self.func_entries[func.0 as usize];
@@ -545,7 +619,11 @@ impl ProgramBuilder {
     ///
     /// Panics if `block` is unknown or `inst` is a control op.
     pub fn push_inst(&mut self, block: BlockId, inst: Inst) {
-        assert!(!inst.op.is_control(), "control op {} must be a terminator", inst.op);
+        assert!(
+            !inst.op.is_control(),
+            "control op {} must be a terminator",
+            inst.op
+        );
         self.blocks[block.0 as usize].1.push(inst);
     }
 
@@ -574,8 +652,13 @@ impl ProgramBuilder {
     ) -> BranchId {
         let id = BranchId(self.next_branch);
         self.next_branch += 1;
-        self.blocks[block.0 as usize].2 =
-            Some(Terminator::CondBranch { id, srcs, taken, fall, inverted: false });
+        self.blocks[block.0 as usize].2 = Some(Terminator::CondBranch {
+            id,
+            srcs,
+            taken,
+            fall,
+            inverted: false,
+        });
         id
     }
 
@@ -597,16 +680,26 @@ impl ProgramBuilder {
         for (idx, (func, insts, term)) in self.blocks.into_iter().enumerate() {
             let id = BlockId(idx as u32);
             let terminator = term.ok_or(ValidateError::MissingTerminator(id))?;
-            blocks.push(Block { id, func, insts, terminator });
+            blocks.push(Block {
+                id,
+                func,
+                insts,
+                terminator,
+            });
         }
         let func_entries = self
             .func_entries
             .into_iter()
             .map(|e| e.ok_or(ValidateError::NoFunctions))
             .collect::<Result<Vec<_>, _>>()?;
-        let prog =
-            Program { blocks, func_entries, entry, num_branches: self.next_branch };
+        let prog = Program {
+            blocks,
+            func_entries,
+            entry,
+            num_branches: self.next_branch,
+        };
         prog.validate()?;
+        crate::hooks::check_program(&prog);
         Ok(prog)
     }
 }
@@ -620,7 +713,10 @@ mod tests {
         let f = b.begin_func();
         let head = b.new_block(f);
         let exit = b.new_block(f);
-        b.push_inst(head, Inst::new(OpClass::IntAlu, Some(Reg::int(1)), [None, None]));
+        b.push_inst(
+            head,
+            Inst::new(OpClass::IntAlu, Some(Reg::int(1)), [None, None]),
+        );
         b.set_cond_branch(head, [Some(Reg::int(1)), None], head, exit);
         b.set_terminator(exit, Terminator::Halt);
         b.set_entry(head);
@@ -642,7 +738,10 @@ mod tests {
         let f = b.begin_func();
         let blk = b.new_block(f);
         b.set_entry(blk);
-        assert_eq!(b.finish().unwrap_err(), ValidateError::MissingTerminator(BlockId(0)));
+        assert_eq!(
+            b.finish().unwrap_err(),
+            ValidateError::MissingTerminator(BlockId(0))
+        );
     }
 
     #[test]
@@ -652,7 +751,10 @@ mod tests {
         let blk = b.new_block(f);
         b.set_terminator(blk, Terminator::Jump { target: BlockId(9) });
         b.set_entry(blk);
-        assert_eq!(b.finish().unwrap_err(), ValidateError::UnknownBlock(BlockId(9)));
+        assert_eq!(
+            b.finish().unwrap_err(),
+            ValidateError::UnknownBlock(BlockId(9))
+        );
     }
 
     #[test]
@@ -665,7 +767,10 @@ mod tests {
         b.set_terminator(a, Terminator::Jump { target: c });
         b.set_terminator(c, Terminator::Return);
         b.set_entry(a);
-        assert!(matches!(b.finish().unwrap_err(), ValidateError::CrossFuncEdge { .. }));
+        assert!(matches!(
+            b.finish().unwrap_err(),
+            ValidateError::CrossFuncEdge { .. }
+        ));
     }
 
     #[test]
@@ -677,12 +782,21 @@ mod tests {
         let ret = b.new_block(f0);
         let callee_entry = b.new_block(f1);
         let callee_body = b.new_block(f1);
-        b.set_terminator(a, Terminator::Call { callee: callee_body, return_to: ret });
+        b.set_terminator(
+            a,
+            Terminator::Call {
+                callee: callee_body,
+                return_to: ret,
+            },
+        );
         b.set_terminator(ret, Terminator::Halt);
         b.set_terminator(callee_entry, Terminator::FallThrough { next: callee_body });
         b.set_terminator(callee_body, Terminator::Return);
         b.set_entry(a);
-        assert!(matches!(b.finish().unwrap_err(), ValidateError::CallToNonEntry { .. }));
+        assert!(matches!(
+            b.finish().unwrap_err(),
+            ValidateError::CallToNonEntry { .. }
+        ));
     }
 
     #[test]
@@ -728,7 +842,12 @@ mod tests {
         );
         let q = p.with_terminators(&edits).expect("valid edit");
         match q.block(BlockId(0)).terminator {
-            Terminator::CondBranch { taken, fall, inverted, .. } => {
+            Terminator::CondBranch {
+                taken,
+                fall,
+                inverted,
+                ..
+            } => {
                 assert_eq!(taken, BlockId(1));
                 assert_eq!(fall, BlockId(0));
                 assert!(inverted);
@@ -752,7 +871,10 @@ mod tests {
                 inverted: false,
             },
         );
-        assert_eq!(p.with_terminators(&edits).unwrap_err(), ValidateError::DuplicateBranch(BranchId(0)));
+        assert_eq!(
+            p.with_terminators(&edits).unwrap_err(),
+            ValidateError::DuplicateBranch(BranchId(0))
+        );
     }
 
     #[test]

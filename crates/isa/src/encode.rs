@@ -158,8 +158,11 @@ pub fn encode(inst: &LaidInst) -> Result<u32, EncodeError> {
             let mask = (u32::from(inst.dest.is_some()) << 2)
                 | (u32::from(inst.srcs[0].is_some()) << 1)
                 | u32::from(inst.srcs[1].is_some());
-            let imm = fit_signed(i64::from(inst.imm), IMM_BITS)
-                .ok_or(EncodeError::ImmOverflow { addr: inst.addr, imm: inst.imm })?;
+            let imm =
+                fit_signed(i64::from(inst.imm), IMM_BITS).ok_or(EncodeError::ImmOverflow {
+                    addr: inst.addr,
+                    imm: inst.imm,
+                })?;
             Ok(op
                 | (reg_field(inst.dest) << 21)
                 | (reg_field(inst.srcs[0]) << 15)
@@ -255,7 +258,13 @@ pub fn decode(word: u32, addr: Addr) -> Result<Decoded, DecodeError> {
                 None
             };
             let imm = sign_extend(word & ((1 << IMM_BITS) - 1), IMM_BITS) as i8;
-            Ok(Decoded { op, dest, srcs: [s0, s1], imm, target: None })
+            Ok(Decoded {
+                op,
+                dest,
+                srcs: [s0, s1],
+                imm,
+                target: None,
+            })
         }
         OpClass::CondBranch => {
             let mask = (word >> BR_DISP_BITS) & 0b11;
@@ -271,21 +280,47 @@ pub fn decode(word: u32, addr: Addr) -> Result<Decoded, DecodeError> {
             };
             let disp = sign_extend(word & ((1 << BR_DISP_BITS) - 1), BR_DISP_BITS);
             let target = Addr::from_word_index((addr.word_index() as i64 + disp) as u64);
-            Ok(Decoded { op, dest: None, srcs: [s0, s1], imm: 0, target: Some(target) })
+            Ok(Decoded {
+                op,
+                dest: None,
+                srcs: [s0, s1],
+                imm: 0,
+                target: Some(target),
+            })
         }
         OpClass::Jump | OpClass::Call => {
             let disp = sign_extend(word & ((1 << JMP_DISP_BITS) - 1), JMP_DISP_BITS);
             let target = Addr::from_word_index((addr.word_index() as i64 + disp) as u64);
-            let dest = if op == OpClass::Call { Some(Reg::Int(31)) } else { None };
-            Ok(Decoded { op, dest, srcs: [None, None], imm: 0, target: Some(target) })
+            let dest = if op == OpClass::Call {
+                Some(Reg::Int(31))
+            } else {
+                None
+            };
+            Ok(Decoded {
+                op,
+                dest,
+                srcs: [None, None],
+                imm: 0,
+                target: Some(target),
+            })
         }
         OpClass::Return => {
             let s0 = Some(reg_from_field((word >> 21) & 0x3f)?);
-            Ok(Decoded { op, dest: None, srcs: [s0, None], imm: 0, target: None })
+            Ok(Decoded {
+                op,
+                dest: None,
+                srcs: [s0, None],
+                imm: 0,
+                target: None,
+            })
         }
-        OpClass::Nop | OpClass::Halt => {
-            Ok(Decoded { op, dest: None, srcs: [None, None], imm: 0, target: None })
-        }
+        OpClass::Nop | OpClass::Halt => Ok(Decoded {
+            op,
+            dest: None,
+            srcs: [None, None],
+            imm: 0,
+            target: None,
+        }),
     }
 }
 
@@ -309,7 +344,10 @@ pub fn disasm(inst: &LaidInst) -> String {
     for src in inst.srcs.iter().flatten() {
         s.push_str(&format!(" {src}"));
     }
-    if let Some(CtrlAttr { target: Some(t), .. }) = inst.ctrl {
+    if let Some(CtrlAttr {
+        target: Some(t), ..
+    }) = inst.ctrl
+    {
         s.push_str(&format!(" -> {t}"));
     }
     if inst.imm != 0 {
@@ -400,7 +438,10 @@ mod tests {
     #[test]
     fn missing_target_errors() {
         let i = laid(OpClass::Jump, 0x1000, None);
-        assert_eq!(encode(&i), Err(EncodeError::MissingTarget(Addr::new(0x1000))));
+        assert_eq!(
+            encode(&i),
+            Err(EncodeError::MissingTarget(Addr::new(0x1000)))
+        );
     }
 
     #[test]

@@ -58,7 +58,11 @@ impl LayoutOptions {
             block_bytes.is_power_of_two() && block_bytes >= WORD_BYTES,
             "block size must be a power of two >= {WORD_BYTES}"
         );
-        Self { base: Addr::new(0x1_0000), block_bytes, pad: PadMode::None }
+        Self {
+            base: Addr::new(0x1_0000),
+            block_bytes,
+            pad: PadMode::None,
+        }
     }
 
     /// Sets the padding mode (builder style).
@@ -147,13 +151,37 @@ impl fmt::Display for LayoutError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LayoutError::NotAPermutation => {
-                write!(f, "block order is not a permutation of the program's blocks")
+                write!(
+                    f,
+                    "block order is not a permutation of the program's blocks"
+                )
             }
         }
     }
 }
 
 impl std::error::Error for LayoutError {}
+
+/// The raw, unvalidated parts of a [`Layout`].
+///
+/// Produced by [`Layout::into_raw`] and consumed by [`Layout::from_raw`];
+/// every field is public so verification tests can corrupt exactly one
+/// layout invariant at a time.
+#[derive(Debug, Clone)]
+pub struct RawLayout {
+    /// The laid-out instruction stream.
+    pub code: Vec<LaidInst>,
+    /// Starting address of each block, indexed by block id.
+    pub block_addr: Vec<Addr>,
+    /// Block layout order.
+    pub order: Vec<BlockId>,
+    /// Address of the program entry block.
+    pub entry_addr: Addr,
+    /// The options the layout was produced with.
+    pub options: LayoutOptions,
+    /// Emission statistics.
+    pub stats: LayoutStats,
+}
 
 /// A program laid out in memory: addressed instructions plus block-address
 /// and index maps.
@@ -229,7 +257,8 @@ impl Layout {
         }
 
         // Pass 2: emit instructions with resolved targets.
-        let mut code = Vec::with_capacity(((cursor.byte() - options.base.byte()) / WORD_BYTES) as usize);
+        let mut code =
+            Vec::with_capacity(((cursor.byte() - options.base.byte()) / WORD_BYTES) as usize);
         let entry_addr = block_addr[program.entry().0 as usize];
         let mut emit_cursor = options.base;
         for (pos, &bid) in order.iter().enumerate() {
@@ -273,14 +302,46 @@ impl Layout {
             pad_nops,
             materialized_jumps,
         };
-        Ok(Self {
+        let layout = Self {
             code,
             block_addr,
             order: order.to_vec(),
             entry_addr,
             options,
             stats,
-        })
+        };
+        crate::hooks::check_layout(program, &layout);
+        Ok(layout)
+    }
+
+    /// Decomposes the layout into its raw parts (see [`RawLayout`]).
+    #[must_use]
+    pub fn into_raw(self) -> RawLayout {
+        RawLayout {
+            code: self.code,
+            block_addr: self.block_addr,
+            order: self.order,
+            entry_addr: self.entry_addr,
+            options: self.options,
+            stats: self.stats,
+        }
+    }
+
+    /// Reassembles a layout from raw parts **without validation** and
+    /// without running verification hooks.
+    ///
+    /// The result may violate every invariant [`Layout::new`] establishes;
+    /// intended for the analysis layer's mutation tests.
+    #[must_use]
+    pub fn from_raw(raw: RawLayout) -> Self {
+        Self {
+            code: raw.code,
+            block_addr: raw.block_addr,
+            order: raw.order,
+            entry_addr: raw.entry_addr,
+            options: raw.options,
+            stats: raw.stats,
+        }
     }
 
     /// Lays out `program` in block-id order ("as written" — the unoptimized
@@ -358,7 +419,13 @@ impl Layout {
                     );
                 }
             }
-            Terminator::CondBranch { id, srcs, taken, fall, inverted } => {
+            Terminator::CondBranch {
+                id,
+                srcs,
+                taken,
+                fall,
+                inverted,
+            } => {
                 emit(
                     &mut cursor,
                     OpClass::CondBranch,
@@ -403,7 +470,11 @@ impl Layout {
                     OpClass::Return,
                     None,
                     [Some(LINK_REG), None],
-                    Some(CtrlAttr { branch_id: None, inverted: false, target: None }),
+                    Some(CtrlAttr {
+                        branch_id: None,
+                        inverted: false,
+                        target: None,
+                    }),
                 );
             }
             Terminator::Halt => {
@@ -520,9 +591,15 @@ mod tests {
         let body = b.new_block(f);
         let tail = b.new_block(f);
         for _ in 0..3 {
-            b.push_inst(head, Inst::new(OpClass::IntAlu, Some(Reg::int(1)), [None, None]));
+            b.push_inst(
+                head,
+                Inst::new(OpClass::IntAlu, Some(Reg::int(1)), [None, None]),
+            );
         }
-        b.push_inst(body, Inst::new(OpClass::IntAlu, Some(Reg::int(2)), [None, None]));
+        b.push_inst(
+            body,
+            Inst::new(OpClass::IntAlu, Some(Reg::int(2)), [None, None]),
+        );
         // taken edge skips body (a hammock).
         b.set_cond_branch(head, [Some(Reg::int(1)), None], tail, body);
         b.set_terminator(body, Terminator::FallThrough { next: tail });
@@ -546,8 +623,15 @@ mod tests {
     fn branch_targets_resolve_to_block_addresses() {
         let p = diamondish();
         let l = Layout::natural(&p, LayoutOptions::new(16)).expect("layout");
-        let br = l.code().iter().find(|i| i.op == OpClass::CondBranch).expect("branch");
-        assert_eq!(br.ctrl.expect("ctrl").target, Some(l.block_addr(BlockId(2))));
+        let br = l
+            .code()
+            .iter()
+            .find(|i| i.op == OpClass::CondBranch)
+            .expect("branch");
+        assert_eq!(
+            br.ctrl.expect("ctrl").target,
+            Some(l.block_addr(BlockId(2)))
+        );
     }
 
     #[test]
@@ -560,7 +644,10 @@ mod tests {
         assert_eq!(l.stats().materialized_jumps, 2);
         let jumps: Vec<_> = l.code().iter().filter(|i| i.op == OpClass::Jump).collect();
         assert_eq!(jumps.len(), 2);
-        assert_eq!(jumps[0].ctrl.expect("ctrl").target, Some(l.block_addr(BlockId(2))));
+        assert_eq!(
+            jumps[0].ctrl.expect("ctrl").target,
+            Some(l.block_addr(BlockId(2)))
+        );
     }
 
     #[test]
@@ -595,7 +682,11 @@ mod tests {
     fn halt_targets_entry() {
         let p = diamondish();
         let l = Layout::natural(&p, LayoutOptions::new(16)).expect("layout");
-        let halt = l.code().iter().find(|i| i.op == OpClass::Halt).expect("halt");
+        let halt = l
+            .code()
+            .iter()
+            .find(|i| i.op == OpClass::Halt)
+            .expect("halt");
         assert_eq!(halt.ctrl.expect("ctrl").target, Some(l.entry_addr()));
     }
 
@@ -640,21 +731,39 @@ mod tests {
         let main = b.new_block(f0);
         let after = b.new_block(f0);
         let callee = b.new_block(f1);
-        b.set_terminator(main, Terminator::Call { callee, return_to: after });
+        b.set_terminator(
+            main,
+            Terminator::Call {
+                callee,
+                return_to: after,
+            },
+        );
         b.set_terminator(after, Terminator::Halt);
         b.set_terminator(callee, Terminator::Return);
         b.set_entry(main);
         let p = b.finish().expect("valid");
         let l = Layout::natural(&p, LayoutOptions::new(16)).expect("layout");
-        let call = l.code().iter().find(|i| i.op == OpClass::Call).expect("call");
+        let call = l
+            .code()
+            .iter()
+            .find(|i| i.op == OpClass::Call)
+            .expect("call");
         assert_eq!(call.ctrl.expect("ctrl").target, Some(l.block_addr(callee)));
-        let ret = l.code().iter().find(|i| i.op == OpClass::Return).expect("ret");
+        let ret = l
+            .code()
+            .iter()
+            .find(|i| i.op == OpClass::Return)
+            .expect("ret");
         assert_eq!(ret.ctrl.expect("ctrl").target, None);
     }
 
     #[test]
     fn pad_pct_matches_definition() {
-        let stats = LayoutStats { total_insts: 120, pad_nops: 20, materialized_jumps: 0 };
+        let stats = LayoutStats {
+            total_insts: 120,
+            pad_nops: 20,
+            materialized_jumps: 0,
+        };
         assert!((stats.pad_pct() - 20.0).abs() < 1e-9);
     }
 }

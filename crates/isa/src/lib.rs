@@ -49,6 +49,7 @@
 pub mod addr;
 pub mod cfg;
 pub mod encode;
+pub mod hooks;
 pub mod layout;
 pub mod op;
 pub mod reg;
@@ -58,11 +59,13 @@ pub mod trace_io;
 
 pub use addr::{Addr, WORD_BYTES};
 pub use cfg::{
-    Block, BlockId, BranchId, EdgeKind, FuncId, Inst, Program, ProgramBuilder, Terminator,
-    ValidateError,
+    Block, BlockId, BranchId, EdgeKind, FuncId, Inst, Program, ProgramBuilder, RawProgram,
+    Terminator, ValidateError,
 };
 pub use encode::{decode, disasm, encode, encode_image, DecodeError, Decoded, EncodeError};
-pub use layout::{CtrlAttr, LaidInst, Layout, LayoutError, LayoutOptions, LayoutStats, PadMode};
+pub use layout::{
+    CtrlAttr, LaidInst, Layout, LayoutError, LayoutOptions, LayoutStats, PadMode, RawLayout,
+};
 pub use op::{FuClass, OpClass};
 pub use reg::{Reg, NUM_FP_REGS, NUM_INT_REGS};
 pub use trace::{DynCtrl, DynInst, TraceStats};

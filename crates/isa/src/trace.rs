@@ -57,7 +57,14 @@ impl DynInst {
     #[must_use]
     pub fn simple(addr: Addr, op: OpClass, dest: Option<Reg>, srcs: [Option<Reg>; 2]) -> Self {
         debug_assert!(!op.is_control() && op != OpClass::Halt);
-        Self { addr, op, dest, srcs, next_pc: addr.add_words(1), ctrl: None }
+        Self {
+            addr,
+            op,
+            dest,
+            srcs,
+            next_pc: addr.add_words(1),
+            ctrl: None,
+        }
     }
 
     /// Returns `true` if this instruction redirected the instruction stream
@@ -165,7 +172,12 @@ mod tests {
             dest: None,
             srcs: [None, None],
             next_pc: Addr::new(target),
-            ctrl: Some(DynCtrl { branch_id: Some(BranchId(0)), taken: true, target: Addr::new(target), link: None }),
+            ctrl: Some(DynCtrl {
+                branch_id: Some(BranchId(0)),
+                taken: true,
+                target: Addr::new(target),
+                link: None,
+            }),
         }
     }
 
@@ -191,7 +203,10 @@ mod tests {
         let mut s = TraceStats::new();
         s.observe(&taken_branch(0x100, 0x108), 16);
         s.observe(&taken_branch(0x100, 0x200), 16);
-        s.observe(&DynInst::simple(Addr::new(0x104), OpClass::IntAlu, None, [None, None]), 16);
+        s.observe(
+            &DynInst::simple(Addr::new(0x104), OpClass::IntAlu, None, [None, None]),
+            16,
+        );
         assert_eq!(s.insts, 3);
         assert_eq!(s.cond_branches, 2);
         assert_eq!(s.taken_cond_branches, 2);
@@ -211,7 +226,12 @@ mod tests {
     #[test]
     fn not_taken_branch_is_not_intra_block() {
         let mut b = taken_branch(0x100, 0x108);
-        b.ctrl = Some(DynCtrl { branch_id: Some(BranchId(0)), taken: false, target: Addr::new(0x108), link: None });
+        b.ctrl = Some(DynCtrl {
+            branch_id: Some(BranchId(0)),
+            taken: false,
+            target: Addr::new(0x108),
+            link: None,
+        });
         b.next_pc = Addr::new(0x104);
         assert!(!b.is_intra_block_taken(16));
         let mut s = TraceStats::new();

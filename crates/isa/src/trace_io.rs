@@ -35,7 +35,10 @@ const F_HAS_BRANCH_ID: u8 = 1 << 2;
 const F_HAS_LINK: u8 = 1 << 3;
 
 fn op_code(op: OpClass) -> u8 {
-    OpClass::ALL.iter().position(|&o| o == op).expect("op in ALL") as u8
+    OpClass::ALL
+        .iter()
+        .position(|&o| o == op)
+        .expect("op in ALL") as u8
 }
 
 fn op_from(code: u8) -> Option<OpClass> {
@@ -50,7 +53,10 @@ fn reg_from(b: u8) -> Result<Option<Reg>, io::Error> {
     match b {
         NO_REG => Ok(None),
         n if (n as usize) < 64 => Ok(Some(Reg::from_file_index(n as usize))),
-        n => Err(io::Error::new(io::ErrorKind::InvalidData, format!("bad register byte {n}"))),
+        n => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad register byte {n}"),
+        )),
     }
 }
 
@@ -115,7 +121,10 @@ fn read_exact<const N: usize, R: Read>(r: &mut R) -> io::Result<[u8; N]> {
 pub fn read_trace<R: Read>(mut r: R) -> io::Result<Vec<DynInst>> {
     let magic = read_exact::<4, _>(&mut r)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad trace magic"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad trace magic",
+        ));
     }
     let version = u16::from_le_bytes(read_exact::<2, _>(&mut r)?);
     if version != VERSION {
@@ -146,7 +155,12 @@ pub fn read_trace<R: Read>(mut r: R) -> io::Result<Vec<DynInst>> {
             } else {
                 None
             };
-            Some(DynCtrl { branch_id, taken: flags & F_TAKEN != 0, target, link })
+            Some(DynCtrl {
+                branch_id,
+                taken: flags & F_TAKEN != 0,
+                target,
+                link,
+            })
         } else {
             None
         };
@@ -168,10 +182,12 @@ mod tests {
 
     fn sample() -> Vec<DynInst> {
         vec![
-            DynInst::simple(Addr::new(0x1000), OpClass::IntAlu, Some(Reg::int(3)), [
-                Some(Reg::int(1)),
-                None,
-            ]),
+            DynInst::simple(
+                Addr::new(0x1000),
+                OpClass::IntAlu,
+                Some(Reg::int(3)),
+                [Some(Reg::int(1)), None],
+            ),
             DynInst {
                 addr: Addr::new(0x1004),
                 op: OpClass::CondBranch,
@@ -198,10 +214,12 @@ mod tests {
                     link: Some(Addr::new(0x2004)),
                 }),
             },
-            DynInst::simple(Addr::new(0x3000), OpClass::Load, Some(Reg::fp(2)), [
-                Some(Reg::int(4)),
-                None,
-            ]),
+            DynInst::simple(
+                Addr::new(0x3000),
+                OpClass::Load,
+                Some(Reg::fp(2)),
+                [Some(Reg::int(4)), None],
+            ),
         ]
     }
 

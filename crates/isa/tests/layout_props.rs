@@ -15,8 +15,8 @@ use proptest::prelude::*;
 /// the same function.
 fn arb_program() -> impl Strategy<Value = Program> {
     (
-        2usize..24,                                             // blocks
-        proptest::collection::vec(0usize..6, 2..24),            // body lengths
+        2usize..24,                                                     // blocks
+        proptest::collection::vec(0usize..6, 2..24),                    // body lengths
         proptest::collection::vec((0u8..5, 0u32..24, 0u32..24), 2..24), // terminators
     )
         .prop_map(|(n, lens, terms)| {
@@ -26,8 +26,15 @@ fn arb_program() -> impl Strategy<Value = Program> {
             for (i, &blk) in blocks.iter().enumerate() {
                 let len = lens[i % lens.len()];
                 for j in 0..len {
-                    let op = if j % 3 == 0 { OpClass::Load } else { OpClass::IntAlu };
-                    b.push_inst(blk, Inst::new(op, Some(Reg::int(1)), [Some(Reg::int(2)), None]));
+                    let op = if j % 3 == 0 {
+                        OpClass::Load
+                    } else {
+                        OpClass::IntAlu
+                    };
+                    b.push_inst(
+                        blk,
+                        Inst::new(op, Some(Reg::int(1)), [Some(Reg::int(2)), None]),
+                    );
                 }
                 let (kind, x, y) = terms[i % terms.len()];
                 let pick = |v: u32| blocks[(v as usize) % n];

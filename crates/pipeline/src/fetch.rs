@@ -122,14 +122,19 @@ pub struct TraceCursor {
 
 impl std::fmt::Debug for TraceCursor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TraceCursor").field("buffered", &self.buf.len()).finish()
+        f.debug_struct("TraceCursor")
+            .field("buffered", &self.buf.len())
+            .finish()
     }
 }
 
 impl TraceCursor {
     /// Wraps a dynamic-instruction iterator.
     pub fn new(iter: impl Iterator<Item = DynInst> + 'static) -> Self {
-        Self { iter: Box::new(iter), buf: VecDeque::new() }
+        Self {
+            iter: Box::new(iter),
+            buf: VecDeque::new(),
+        }
     }
 
     /// Returns the instruction `offset` positions ahead of the cursor, if the
@@ -167,7 +172,14 @@ mod tests {
     use fetchmech_isa::{Addr, OpClass};
 
     fn seq(n: u64) -> impl Iterator<Item = DynInst> {
-        (0..n).map(|i| DynInst::simple(Addr::from_word_index(i), OpClass::IntAlu, None, [None, None]))
+        (0..n).map(|i| {
+            DynInst::simple(
+                Addr::from_word_index(i),
+                OpClass::IntAlu,
+                None,
+                [None, None],
+            )
+        })
     }
 
     #[test]

@@ -61,9 +61,7 @@ enum State {
     /// Dispatched, waiting in the window for operands and a unit.
     InWindow,
     /// Executing; completes at the stored cycle.
-    Exec {
-        done_at: u64,
-    },
+    Exec { done_at: u64 },
     /// Finished; awaiting in-order retirement.
     Done,
 }
@@ -111,7 +109,10 @@ impl OooCore {
     /// Panics if any sizing field is zero.
     #[must_use]
     pub fn new(cfg: OooConfig) -> Self {
-        assert!(cfg.issue_rate > 0 && cfg.window > 0 && cfg.rob > 0, "zero-sized core");
+        assert!(
+            cfg.issue_rate > 0 && cfg.window > 0 && cfg.rob > 0,
+            "zero-sized core"
+        );
         assert!(
             cfg.fxu > 0 && cfg.fpu > 0 && cfg.branch_units > 0 && cfg.mem_units > 0,
             "every unit class needs at least one unit"
@@ -151,7 +152,10 @@ impl OooCore {
                     // Halt redirects fetch to the restart point, so it
                     // resolves like a control transfer.
                     if e.op.is_control() || e.op == OpClass::Halt {
-                        resolved.push(Resolved { seq: e.seq, mispredicted: e.mispredicted });
+                        resolved.push(Resolved {
+                            seq: e.seq,
+                            mispredicted: e.mispredicted,
+                        });
                     }
                     if e.op == OpClass::CondBranch {
                         self.unresolved_cond -= 1;
@@ -193,7 +197,9 @@ impl OooCore {
         let min_seq = self.min_inflight_seq();
         let completed = &self.completed;
         let ready = |deps: &[Option<u64>; 2]| {
-            deps.iter().flatten().all(|&d| d < min_seq || completed.contains(&d))
+            deps.iter()
+                .flatten()
+                .all(|&d| d < min_seq || completed.contains(&d))
         };
         let mut fired = Vec::new();
         for (i, e) in self.rob.iter().enumerate() {
@@ -207,7 +213,9 @@ impl OooCore {
         }
         for i in fired {
             let latency = u64::from(self.rob[i].op.latency());
-            self.rob[i].state = State::Exec { done_at: cycle + latency };
+            self.rob[i].state = State::Exec {
+                done_at: cycle + latency,
+            };
             self.window_used -= 1;
         }
     }
@@ -283,7 +291,15 @@ mod tests {
     use fetchmech_isa::{Addr, DynCtrl, DynInst, Reg};
 
     fn cfg() -> OooConfig {
-        OooConfig { issue_rate: 4, window: 16, rob: 32, fxu: 2, fpu: 2, branch_units: 2, mem_units: 2 }
+        OooConfig {
+            issue_rate: 4,
+            window: 16,
+            rob: 32,
+            fxu: 2,
+            fpu: 2,
+            branch_units: 2,
+            mem_units: 2,
+        }
     }
 
     fn alu(dest: Option<Reg>, srcs: [Option<Reg>; 2]) -> FetchedInst {
@@ -308,7 +324,12 @@ mod tests {
                 dest: None,
                 srcs: [None, None],
                 next_pc: Addr::new(0x1004),
-                ctrl: Some(DynCtrl { branch_id: None, taken: false, target: Addr::new(0x2000), link: None }),
+                ctrl: Some(DynCtrl {
+                    branch_id: None,
+                    taken: false,
+                    target: Addr::new(0x2000),
+                    link: None,
+                }),
             },
             mispredicted,
         }
@@ -355,7 +376,10 @@ mod tests {
         let r = Reg::int(1);
         let insts: Vec<_> = (0..20).map(|_| alu(Some(r), [Some(r), None])).collect();
         let cycles = run_to_drain(&mut core, &insts);
-        assert!(cycles >= 20, "chain of 20 must take >= 20 cycles, took {cycles}");
+        assert!(
+            cycles >= 20,
+            "chain of 20 must take >= 20 cycles, took {cycles}"
+        );
     }
 
     #[test]
@@ -364,7 +388,10 @@ mod tests {
         let f = Reg::fp(1);
         let insts: Vec<_> = (0..10).map(|_| fp(Some(f), [Some(f), None])).collect();
         let cycles = run_to_drain(&mut core, &insts);
-        assert!(cycles >= 20, "10 dependent 2-cycle ops must take >= 20 cycles, took {cycles}");
+        assert!(
+            cycles >= 20,
+            "10 dependent 2-cycle ops must take >= 20 cycles, took {cycles}"
+        );
     }
 
     #[test]
@@ -423,7 +450,15 @@ mod tests {
 
     #[test]
     fn window_capacity_blocks_dispatch() {
-        let small = OooConfig { issue_rate: 4, window: 2, rob: 32, fxu: 1, fpu: 1, branch_units: 1, mem_units: 1 };
+        let small = OooConfig {
+            issue_rate: 4,
+            window: 2,
+            rob: 32,
+            fxu: 1,
+            fpu: 1,
+            branch_units: 1,
+            mem_units: 1,
+        };
         let mut core = OooCore::new(small);
         // Two instructions waiting on a never-completing producer? Not
         // possible here — instead fill the window with dependent ops that
@@ -438,7 +473,15 @@ mod tests {
 
     #[test]
     fn rob_capacity_blocks_dispatch() {
-        let tiny = OooConfig { issue_rate: 4, window: 16, rob: 3, fxu: 2, fpu: 2, branch_units: 2, mem_units: 2 };
+        let tiny = OooConfig {
+            issue_rate: 4,
+            window: 16,
+            rob: 3,
+            fxu: 2,
+            fpu: 2,
+            branch_units: 2,
+            mem_units: 2,
+        };
         let mut core = OooCore::new(tiny);
         core.begin_cycle(0);
         core.fire(0);
@@ -475,7 +518,15 @@ mod tests {
     #[test]
     #[should_panic(expected = "full")]
     fn dispatch_into_full_rob_panics() {
-        let tiny = OooConfig { issue_rate: 1, window: 1, rob: 1, fxu: 1, fpu: 1, branch_units: 1, mem_units: 1 };
+        let tiny = OooConfig {
+            issue_rate: 1,
+            window: 1,
+            rob: 1,
+            fxu: 1,
+            fpu: 1,
+            branch_units: 1,
+            mem_units: 1,
+        };
         let mut core = OooCore::new(tiny);
         let r = Reg::int(1);
         core.dispatch(&alu(Some(r), [Some(r), None]));

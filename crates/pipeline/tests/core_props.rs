@@ -37,7 +37,12 @@ fn materialize(g: Gen, addr_word: u64) -> FetchedInst {
     let src = Some(Reg::int(1 + g.src % 24));
     let inst = match g.kind {
         0 | 1 => DynInst::simple(addr, OpClass::IntAlu, dest, [src, None]),
-        2 => DynInst::simple(addr, OpClass::FpAdd, Some(Reg::fp(g.dest % 24)), [Some(Reg::fp(g.src % 24)), None]),
+        2 => DynInst::simple(
+            addr,
+            OpClass::FpAdd,
+            Some(Reg::fp(g.dest % 24)),
+            [Some(Reg::fp(g.src % 24)), None],
+        ),
         3 => DynInst::simple(addr, OpClass::Load, dest, [src, None]),
         4 => DynInst::simple(addr, OpClass::Store, None, [dest, src]),
         _ => DynInst {
@@ -54,7 +59,10 @@ fn materialize(g: Gen, addr_word: u64) -> FetchedInst {
             }),
         },
     };
-    FetchedInst { inst, mispredicted: false }
+    FetchedInst {
+        inst,
+        mispredicted: false,
+    }
 }
 
 proptest! {

@@ -71,21 +71,35 @@ impl std::error::Error for AsmError {}
 
 impl From<ValidateError> for AsmError {
     fn from(e: ValidateError) -> Self {
-        AsmError { line: 0, message: format!("invalid program: {e}") }
+        AsmError {
+            line: 0,
+            message: format!("invalid program: {e}"),
+        }
     }
 }
 
 fn err(line: usize, message: impl Into<String>) -> AsmError {
-    AsmError { line, message: message.into() }
+    AsmError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// What a block's terminator line said, before labels are resolvable.
 #[derive(Debug, Clone)]
 enum PendingTerm {
     Fall(String),
-    Cond { srcs: [Option<Reg>; 2], taken: String, fall: String, model: BranchModel },
+    Cond {
+        srcs: [Option<Reg>; 2],
+        taken: String,
+        fall: String,
+        model: BranchModel,
+    },
     Jump(String),
-    Call { func: String, return_to: String },
+    Call {
+        func: String,
+        return_to: String,
+    },
     Ret,
     Halt,
 }
@@ -191,15 +205,30 @@ pub fn parse_asm(src: &str) -> Result<AsmProgram, AsmError> {
         use fetchmech_isa::Terminator as T;
         match term {
             PendingTerm::Fall(next) => {
-                builder.set_terminator(id, T::FallThrough { next: resolve(next)? });
+                builder.set_terminator(
+                    id,
+                    T::FallThrough {
+                        next: resolve(next)?,
+                    },
+                );
             }
-            PendingTerm::Cond { srcs, taken, fall, model } => {
+            PendingTerm::Cond {
+                srcs,
+                taken,
+                fall,
+                model,
+            } => {
                 let branch = builder.set_cond_branch(id, *srcs, resolve(taken)?, resolve(fall)?);
                 debug_assert_eq!(branch.0 as usize, models.len());
                 models.push(*model);
             }
             PendingTerm::Jump(target) => {
-                builder.set_terminator(id, T::Jump { target: resolve(target)? });
+                builder.set_terminator(
+                    id,
+                    T::Jump {
+                        target: resolve(target)?,
+                    },
+                );
             }
             PendingTerm::Call { func, return_to } => {
                 let callee = func_entries
@@ -208,7 +237,10 @@ pub fn parse_asm(src: &str) -> Result<AsmProgram, AsmError> {
                     .ok_or_else(|| err(*tline, format!("unknown function {func:?}")))?;
                 builder.set_terminator(
                     id,
-                    T::Call { callee, return_to: resolve(return_to)? },
+                    T::Call {
+                        callee,
+                        return_to: resolve(return_to)?,
+                    },
                 );
             }
             PendingTerm::Ret => builder.set_terminator(id, T::Return),
@@ -218,7 +250,11 @@ pub fn parse_asm(src: &str) -> Result<AsmProgram, AsmError> {
     let entry = func_entry_of[0].ok_or_else(|| err(0, "first function has no blocks"))?;
     builder.set_entry(entry);
     let program = builder.finish()?;
-    Ok(AsmProgram { program, behaviors: BehaviorMap::new(models), labels })
+    Ok(AsmProgram {
+        program,
+        behaviors: BehaviorMap::new(models),
+        labels,
+    })
 }
 
 enum Statement {
@@ -233,12 +269,20 @@ fn parse_statement(line: &str, ln: usize) -> Result<Statement, AsmError> {
     };
     let stmt = match mnemonic {
         "alu" | "mul" => {
-            let op = if mnemonic == "alu" { OpClass::IntAlu } else { OpClass::IntMul };
+            let op = if mnemonic == "alu" {
+                OpClass::IntAlu
+            } else {
+                OpClass::IntMul
+            };
             let (dest, srcs) = parse_reg_list(rest, ln)?;
             Statement::Inst(Inst::new(op, Some(dest), srcs))
         }
         "fadd" | "fmul" => {
-            let op = if mnemonic == "fadd" { OpClass::FpAdd } else { OpClass::FpMul };
+            let op = if mnemonic == "fadd" {
+                OpClass::FpAdd
+            } else {
+                OpClass::FpMul
+            };
             let (dest, srcs) = parse_reg_list(rest, ln)?;
             Statement::Inst(Inst::new(op, Some(dest), srcs))
         }
@@ -256,17 +300,21 @@ fn parse_statement(line: &str, ln: usize) -> Result<Statement, AsmError> {
                 .ok_or_else(|| err(ln, "st needs `rs, [raddr+imm]`"))?;
             let val = parse_reg(val_s.trim(), ln)?;
             let (base, imm) = parse_mem(mem.trim(), ln)?;
-            Statement::Inst(
-                Inst::new(OpClass::Store, None, [Some(val), Some(base)]).with_imm(imm),
-            )
+            Statement::Inst(Inst::new(OpClass::Store, None, [Some(val), Some(base)]).with_imm(imm))
         }
         "nop" => Statement::Inst(Inst::nop()),
         "br" => {
             // br r1[, r2] ? taken : fall [@annotation]
-            let (cond, targets) =
-                rest.split_once('?').ok_or_else(|| err(ln, "br needs `srcs ? taken : fall`"))?;
+            let (cond, targets) = rest
+                .split_once('?')
+                .ok_or_else(|| err(ln, "br needs `srcs ? taken : fall`"))?;
             let mut srcs = [None, None];
-            for (i, s) in cond.split(',').map(str::trim).filter(|s| !s.is_empty()).enumerate() {
+            for (i, s) in cond
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .enumerate()
+            {
                 if i >= 2 {
                     return Err(err(ln, "br takes at most two source registers"));
                 }
@@ -310,7 +358,9 @@ fn parse_statement(line: &str, ln: usize) -> Result<Statement, AsmError> {
 
 fn parse_reg(s: &str, ln: usize) -> Result<Reg, AsmError> {
     let (kind, num) = s.split_at(1.min(s.len()));
-    let n: u8 = num.parse().map_err(|_| err(ln, format!("bad register {s:?}")))?;
+    let n: u8 = num
+        .parse()
+        .map_err(|_| err(ln, format!("bad register {s:?}")))?;
     match kind {
         "r" if n < 32 => Ok(Reg::int(n)),
         "f" if n < 32 => Ok(Reg::fp(n)),
@@ -320,7 +370,10 @@ fn parse_reg(s: &str, ln: usize) -> Result<Reg, AsmError> {
 
 fn parse_reg_list(rest: &str, ln: usize) -> Result<(Reg, [Option<Reg>; 2]), AsmError> {
     let mut parts = rest.split(',').map(str::trim).filter(|s| !s.is_empty());
-    let dest = parse_reg(parts.next().ok_or_else(|| err(ln, "missing destination"))?, ln)?;
+    let dest = parse_reg(
+        parts.next().ok_or_else(|| err(ln, "missing destination"))?,
+        ln,
+    )?;
     let mut srcs = [None, None];
     for (i, p) in parts.enumerate() {
         if i >= 2 {
@@ -342,18 +395,24 @@ fn parse_mem(s: &str, ln: usize) -> Result<(Reg, i8), AsmError> {
     };
     let reg = parse_reg(reg_s, ln)?;
     let imm = match imm_s {
-        Some(i) => i.parse().map_err(|_| err(ln, format!("bad immediate {i:?}")))?,
+        Some(i) => i
+            .parse()
+            .map_err(|_| err(ln, format!("bad immediate {i:?}")))?,
         None => 0,
     };
     Ok((reg, imm))
 }
 
 fn parse_model(anno: &str, ln: usize) -> Result<BranchModel, AsmError> {
-    let (key, value) =
-        anno.split_once('=').ok_or_else(|| err(ln, format!("bad annotation @{anno}")))?;
+    let (key, value) = anno
+        .split_once('=')
+        .ok_or_else(|| err(ln, format!("bad annotation @{anno}")))?;
     match key.trim() {
         "p" => {
-            let p: f64 = value.trim().parse().map_err(|_| err(ln, "bad probability"))?;
+            let p: f64 = value
+                .trim()
+                .parse()
+                .map_err(|_| err(ln, "bad probability"))?;
             if !(0.0..=1.0).contains(&p) {
                 return Err(err(ln, "probability must be in [0, 1]"));
             }
@@ -367,7 +426,10 @@ fn parse_model(anno: &str, ln: usize) -> Result<BranchModel, AsmError> {
             Ok(BranchModel::Loop { mean_trips: m })
         }
         "fixed" => {
-            let t: u64 = value.trim().parse().map_err(|_| err(ln, "bad trip count"))?;
+            let t: u64 = value
+                .trim()
+                .parse()
+                .map_err(|_| err(ln, "bad trip count"))?;
             if t == 0 {
                 return Err(err(ln, "fixed trips must be >= 1"));
             }
@@ -389,12 +451,18 @@ fn parse_model(anno: &str, ln: usize) -> Result<BranchModel, AsmError> {
                     _ => return Err(err(ln, "pattern bits must be 0 or 1")),
                 }
             }
-            let noise: f64 =
-                noise_s.trim().parse().map_err(|_| err(ln, "bad pattern noise"))?;
+            let noise: f64 = noise_s
+                .trim()
+                .parse()
+                .map_err(|_| err(ln, "bad pattern noise"))?;
             if !(0.0..=1.0).contains(&noise) {
                 return Err(err(ln, "noise must be in [0, 1]"));
             }
-            Ok(BranchModel::Pattern { bits, len: bits_s.len() as u8, noise })
+            Ok(BranchModel::Pattern {
+                bits,
+                len: bits_s.len() as u8,
+                noise,
+            })
         }
         other => Err(err(ln, format!("unknown annotation @{other}="))),
     }
@@ -436,9 +504,15 @@ block h0
         assert_eq!(asm.program.num_branches(), 2);
         assert_eq!(asm.behaviors.len(), 2);
         let layout = Layout::natural(&asm.program, LayoutOptions::new(16)).expect("layout");
-        let trace: Vec<_> =
-            Executor::new(&asm.program, &layout, asm.behaviors.clone(), InputId::TEST, 1, 5_000)
-                .collect();
+        let trace: Vec<_> = Executor::new(
+            &asm.program,
+            &layout,
+            asm.behaviors.clone(),
+            InputId::TEST,
+            1,
+            5_000,
+        )
+        .collect();
         assert_eq!(trace.len(), 5_000);
         // The loop runs 10 fixed trips; returns and halts appear.
         assert!(trace.iter().any(|i| i.op == OpClass::Return));
@@ -466,20 +540,44 @@ block c
         );
         assert_eq!(
             asm.behaviors.model(fetchmech_isa::BranchId(1)),
-            BranchModel::Pattern { bits: 0b101, len: 3, noise: 0.1 }
+            BranchModel::Pattern {
+                bits: 0b101,
+                len: 3,
+                noise: 0.1
+            }
         );
     }
 
     #[test]
     fn errors_carry_line_numbers() {
         let cases: &[(&str, usize, &str)] = &[
-            ("func main\nblock a\n    wat r1\n    halt", 3, "unknown mnemonic"),
-            ("func main\nblock a\n    br r1 ? a : nowhere\nblock b\n    halt", 3, "unknown block"),
-            ("func main\nblock a\n    alu r99\n    halt", 3, "bad register"),
+            (
+                "func main\nblock a\n    wat r1\n    halt",
+                3,
+                "unknown mnemonic",
+            ),
+            (
+                "func main\nblock a\n    br r1 ? a : nowhere\nblock b\n    halt",
+                3,
+                "unknown block",
+            ),
+            (
+                "func main\nblock a\n    alu r99\n    halt",
+                3,
+                "bad register",
+            ),
             ("func main\nblock a\n    alu r1", 2, "no terminator"),
             ("block a\n    halt", 1, "before any `func`"),
-            ("func main\nblock a\n    halt\nblock a\n    halt", 4, "duplicate block label"),
-            ("func main\nblock a\n    br r1 ? a : a @p=7\n", 3, "probability"),
+            (
+                "func main\nblock a\n    halt\nblock a\n    halt",
+                4,
+                "duplicate block label",
+            ),
+            (
+                "func main\nblock a\n    br r1 ? a : a @p=7\n",
+                3,
+                "probability",
+            ),
         ];
         for (src, line, needle) in cases {
             let e = parse_asm(src).expect_err(src);

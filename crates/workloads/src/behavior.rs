@@ -140,7 +140,9 @@ impl BehaviorMap {
                     }
                     BranchModel::Loop { mean_trips } => {
                         let factor = 1.0 + (r.next_f64() * 2.0 - 1.0) * magnitude;
-                        BranchModel::Loop { mean_trips: (mean_trips * factor).max(1.0) }
+                        BranchModel::Loop {
+                            mean_trips: (mean_trips * factor).max(1.0),
+                        }
                     }
                     BranchModel::FixedLoop { trips } => {
                         // Inputs scale the structure size; the count stays
@@ -184,7 +186,10 @@ impl BehaviorState {
     /// Creates state for `n` branches.
     #[must_use]
     pub fn new(n: usize) -> Self {
-        Self { remaining: vec![None; n], position: vec![0; n] }
+        Self {
+            remaining: vec![None; n],
+            position: vec![0; n],
+        }
     }
 
     /// Decides whether the branch follows its *original taken* edge, updating
@@ -192,9 +197,7 @@ impl BehaviorState {
     pub fn decide(&mut self, id: BranchId, model: BranchModel, rng: &mut Pcg64) -> bool {
         match model {
             BranchModel::Bernoulli(p) => rng.chance(p),
-            BranchModel::Loop { mean_trips } => {
-                self.run_loop(id, || rng.trip_count(mean_trips))
-            }
+            BranchModel::Loop { mean_trips } => self.run_loop(id, || rng.trip_count(mean_trips)),
             BranchModel::FixedLoop { trips } => self.run_loop(id, || trips.max(1)),
             BranchModel::Pattern { bits, len, noise } => {
                 let pos = &mut self.position[id.0 as usize];
@@ -248,7 +251,9 @@ mod tests {
         let mut rng = Pcg64::new(1);
         let m = BranchModel::Bernoulli(0.7);
         let n = 100_000;
-        let taken = (0..n).filter(|_| st.decide(BranchId(0), m, &mut rng)).count();
+        let taken = (0..n)
+            .filter(|_| st.decide(BranchId(0), m, &mut rng))
+            .count();
         let frac = taken as f64 / n as f64;
         assert!((frac - 0.7).abs() < 0.01, "frac = {frac}");
     }

@@ -19,8 +19,7 @@ pub struct InputId(pub u32);
 
 impl InputId {
     /// The five profiling inputs.
-    pub const PROFILE: [InputId; 5] =
-        [InputId(0), InputId(1), InputId(2), InputId(3), InputId(4)];
+    pub const PROFILE: [InputId; 5] = [InputId(0), InputId(1), InputId(2), InputId(3), InputId(4)];
     /// The held-out test input used for performance simulation.
     pub const TEST: InputId = InputId(5);
 }
@@ -114,7 +113,9 @@ impl Iterator for Executor<'_> {
             OpClass::CondBranch => {
                 let ctrl = inst.ctrl.expect("branch has ctrl");
                 let id = ctrl.branch_id.expect("cond branch has id");
-                let semantic = self.state.decide(id, self.behaviors.model(id), &mut self.rng);
+                let semantic = self
+                    .state
+                    .decide(id, self.behaviors.model(id), &mut self.rng);
                 let hw_taken = semantic ^ ctrl.inverted;
                 let target = ctrl.target.expect("branch target resolved");
                 let next_pc = if hw_taken { target } else { addr.add_words(1) };
@@ -129,11 +130,19 @@ impl Iterator for Executor<'_> {
                     dest: inst.dest,
                     srcs: inst.srcs,
                     next_pc,
-                    ctrl: Some(DynCtrl { branch_id: Some(id), taken: hw_taken, target, link: None }),
+                    ctrl: Some(DynCtrl {
+                        branch_id: Some(id),
+                        taken: hw_taken,
+                        target,
+                        link: None,
+                    }),
                 }
             }
             OpClass::Jump => {
-                let target = inst.ctrl.and_then(|c| c.target).expect("jump target resolved");
+                let target = inst
+                    .ctrl
+                    .and_then(|c| c.target)
+                    .expect("jump target resolved");
                 self.goto(target);
                 DynInst {
                     addr,
@@ -141,11 +150,19 @@ impl Iterator for Executor<'_> {
                     dest: inst.dest,
                     srcs: inst.srcs,
                     next_pc: target,
-                    ctrl: Some(DynCtrl { branch_id: None, taken: true, target, link: None }),
+                    ctrl: Some(DynCtrl {
+                        branch_id: None,
+                        taken: true,
+                        target,
+                        link: None,
+                    }),
                 }
             }
             OpClass::Call => {
-                let target = inst.ctrl.and_then(|c| c.target).expect("call target resolved");
+                let target = inst
+                    .ctrl
+                    .and_then(|c| c.target)
+                    .expect("call target resolved");
                 let return_to = match self.program.block(inst.block).terminator {
                     Terminator::Call { return_to, .. } => return_to,
                     other => panic!("call instruction from non-call terminator {other:?}"),
@@ -159,7 +176,12 @@ impl Iterator for Executor<'_> {
                     dest: inst.dest,
                     srcs: inst.srcs,
                     next_pc: target,
-                    ctrl: Some(DynCtrl { branch_id: None, taken: true, target, link: Some(link) }),
+                    ctrl: Some(DynCtrl {
+                        branch_id: None,
+                        taken: true,
+                        target,
+                        link: Some(link),
+                    }),
                 }
             }
             OpClass::Return => {
@@ -178,7 +200,12 @@ impl Iterator for Executor<'_> {
                     dest: inst.dest,
                     srcs: inst.srcs,
                     next_pc: target,
-                    ctrl: Some(DynCtrl { branch_id: None, taken: true, target, link: None }),
+                    ctrl: Some(DynCtrl {
+                        branch_id: None,
+                        taken: true,
+                        target,
+                        link: None,
+                    }),
                 }
             }
             OpClass::Halt => {
@@ -193,7 +220,12 @@ impl Iterator for Executor<'_> {
                     dest: inst.dest,
                     srcs: inst.srcs,
                     next_pc: target,
-                    ctrl: Some(DynCtrl { branch_id: None, taken: true, target, link: None }),
+                    ctrl: Some(DynCtrl {
+                        branch_id: None,
+                        taken: true,
+                        target,
+                        link: None,
+                    }),
                 }
             }
             _ => {
@@ -261,7 +293,11 @@ mod tests {
         let l = Layout::natural(&w.program, LayoutOptions::new(16)).expect("layout");
         let trace: Vec<_> = w.executor(&l, InputId::TEST, 5000).collect();
         for pair in trace.windows(2) {
-            assert_eq!(pair[0].next_pc, pair[1].addr, "broken link after {}", pair[0].addr);
+            assert_eq!(
+                pair[0].next_pc, pair[1].addr,
+                "broken link after {}",
+                pair[0].addr
+            );
         }
     }
 
@@ -346,7 +382,10 @@ mod tests {
             stats.observe(&i, 16);
         }
         let branch_freq = stats.cond_branches as f64 / stats.insts as f64;
-        assert!(branch_freq > 0.08, "branch frequency {branch_freq} too low for integer code");
+        assert!(
+            branch_freq > 0.08,
+            "branch frequency {branch_freq} too low for integer code"
+        );
         assert!(stats.taken_controls > 0);
     }
 

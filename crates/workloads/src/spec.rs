@@ -8,9 +8,7 @@
 //! these specs lives in [`crate::suite`].
 
 use fetchmech_isa::rng::Pcg64;
-use fetchmech_isa::{
-    BlockId, FuncId, Inst, OpClass, Program, ProgramBuilder, Reg, Terminator,
-};
+use fetchmech_isa::{BlockId, FuncId, Inst, OpClass, Program, ProgramBuilder, Reg, Terminator};
 
 use crate::behavior::{BehaviorMap, BranchModel};
 
@@ -166,7 +164,9 @@ impl Workload {
     #[must_use]
     pub fn generate(spec: WorkloadSpec) -> Self {
         assert!(spec.funcs >= 1, "need at least one function");
-        assert!(spec.segments_per_func.0 >= 1 && spec.segments_per_func.0 <= spec.segments_per_func.1);
+        assert!(
+            spec.segments_per_func.0 >= 1 && spec.segments_per_func.0 <= spec.segments_per_func.1
+        );
         assert!(spec.block_len.0 <= spec.block_len.1);
         assert!(spec.hammock_len.0 >= 1 && spec.hammock_len.0 <= spec.hammock_len.1);
         assert!(spec.loop_body_blocks.0 >= 1 && spec.loop_body_blocks.0 <= spec.loop_body_blocks.1);
@@ -182,19 +182,29 @@ impl Workload {
         ] {
             assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
         }
-        assert!(spec.hammock_prob + spec.diamond_prob + spec.loop_prob + spec.call_prob <= 1.0 + 1e-9,
-            "segment-kind probabilities must not exceed 1");
+        assert!(
+            spec.hammock_prob + spec.diamond_prob + spec.loop_prob + spec.call_prob <= 1.0 + 1e-9,
+            "segment-kind probabilities must not exceed 1"
+        );
 
         let mut gen = Generator::new(&spec);
         gen.build();
-        let Generator { builder, models, .. } = gen;
-        let program = builder.finish().expect("generator produced an invalid program");
+        let Generator {
+            builder, models, ..
+        } = gen;
+        let program = builder
+            .finish()
+            .expect("generator produced an invalid program");
         assert_eq!(
             program.num_branches() as usize,
             models.len(),
             "branch models out of sync with branch ids"
         );
-        Workload { spec, program, behaviors: BehaviorMap::new(models) }
+        Workload {
+            spec,
+            program,
+            behaviors: BehaviorMap::new(models),
+        }
     }
 }
 
@@ -246,7 +256,9 @@ impl<'s> Generator<'s> {
 
     fn build(&mut self) {
         // Declare all functions first so calls can reference later entries.
-        let funcs: Vec<FuncId> = (0..self.spec.funcs).map(|_| self.builder.begin_func()).collect();
+        let funcs: Vec<FuncId> = (0..self.spec.funcs)
+            .map(|_| self.builder.begin_func())
+            .collect();
         let mut entries: Vec<Option<BlockId>> = vec![None; funcs.len()];
         for (i, &f) in funcs.iter().enumerate() {
             if entries[i].is_none() {
@@ -293,7 +305,11 @@ impl<'s> Generator<'s> {
             }
         }
         // Close the function.
-        let term = if idx == 0 { Terminator::Halt } else { Terminator::Return };
+        let term = if idx == 0 {
+            Terminator::Halt
+        } else {
+            Terminator::Return
+        };
         self.builder.set_terminator(cur, term);
         entry
     }
@@ -309,8 +325,13 @@ impl<'s> Generator<'s> {
             s.loop_prob,
             call_p,
         ]);
-        [Segment::Straight, Segment::Hammock, Segment::Diamond, Segment::Loop, Segment::Call]
-            [choice]
+        [
+            Segment::Straight,
+            Segment::Hammock,
+            Segment::Diamond,
+            Segment::Loop,
+            Segment::Call,
+        ][choice]
     }
 
     // ---- segment constructors -------------------------------------------
@@ -319,7 +340,8 @@ impl<'s> Generator<'s> {
     fn seg_straight(&mut self, f: FuncId, cur: BlockId) -> BlockId {
         let next = self.builder.new_block(f);
         self.fill_body(next);
-        self.builder.set_terminator(cur, Terminator::FallThrough { next });
+        self.builder
+            .set_terminator(cur, Terminator::FallThrough { next });
         next
     }
 
@@ -336,7 +358,8 @@ impl<'s> Generator<'s> {
             self.builder.push_inst(then_blk, inst);
         }
         self.insts_emitted += len;
-        self.builder.set_terminator(then_blk, Terminator::FallThrough { next: join });
+        self.builder
+            .set_terminator(then_blk, Terminator::FallThrough { next: join });
         self.fill_body(join);
         let srcs = self.branch_srcs();
         self.builder.set_cond_branch(cur, srcs, join, then_blk);
@@ -353,8 +376,10 @@ impl<'s> Generator<'s> {
         self.fill_body(then_blk);
         self.fill_body(else_blk);
         self.fill_body(join);
-        self.builder.set_terminator(then_blk, Terminator::Jump { target: join });
-        self.builder.set_terminator(else_blk, Terminator::FallThrough { next: join });
+        self.builder
+            .set_terminator(then_blk, Terminator::Jump { target: join });
+        self.builder
+            .set_terminator(else_blk, Terminator::FallThrough { next: join });
         let srcs = self.branch_srcs();
         self.builder.set_cond_branch(cur, srcs, else_blk, then_blk);
         let model = self.sample_branch_model();
@@ -366,7 +391,8 @@ impl<'s> Generator<'s> {
     fn seg_loop(&mut self, f: FuncId, cur: BlockId) -> BlockId {
         let head = self.builder.new_block(f);
         self.fill_body(head);
-        self.builder.set_terminator(cur, Terminator::FallThrough { next: head });
+        self.builder
+            .set_terminator(cur, Terminator::FallThrough { next: head });
         let (lo, hi) = self.spec.loop_body_blocks;
         let nbody = self.r_struct.range_usize(lo, hi + 1);
         let mut tail = head;
@@ -402,7 +428,9 @@ impl<'s> Generator<'s> {
         // fraction iterate a fixed number of times (predictable exits).
         let mean = (self.spec.mean_trips * (0.6 + 0.8 * self.r_prob.next_f64())).max(1.5);
         let model = if self.r_prob.chance(self.spec.fixed_loop_prob) {
-            BranchModel::FixedLoop { trips: mean.round().max(2.0) as u64 }
+            BranchModel::FixedLoop {
+                trips: mean.round().max(2.0) as u64,
+            }
         } else {
             BranchModel::Loop { mean_trips: mean }
         };
@@ -428,7 +456,13 @@ impl<'s> Generator<'s> {
         let callee = entries[j].expect("callee generated");
         let next = self.builder.new_block(f);
         self.fill_body(next);
-        self.builder.set_terminator(cur, Terminator::Call { callee, return_to: next });
+        self.builder.set_terminator(
+            cur,
+            Terminator::Call {
+                callee,
+                return_to: next,
+            },
+        );
         next
     }
 
@@ -448,7 +482,11 @@ impl<'s> Generator<'s> {
         let s = self.spec;
         let roll = self.r_mix.next_f64();
         if roll < s.fp_ratio {
-            let op = if self.r_mix.chance(0.5) { OpClass::FpAdd } else { OpClass::FpMul };
+            let op = if self.r_mix.chance(0.5) {
+                OpClass::FpAdd
+            } else {
+                OpClass::FpMul
+            };
             let dest = self.alloc_fp();
             let srcs = [self.pick_fp(), self.pick_fp()];
             Inst::new(op, Some(dest), srcs)
@@ -456,7 +494,11 @@ impl<'s> Generator<'s> {
             if self.r_mix.chance(0.6) {
                 // Load: FP codes load into FP registers about half the time.
                 let to_fp = s.fp_ratio > 0.2 && self.r_mix.chance(0.5);
-                let dest = if to_fp { self.alloc_fp() } else { self.alloc_int() };
+                let dest = if to_fp {
+                    self.alloc_fp()
+                } else {
+                    self.alloc_int()
+                };
                 let addr = self.pick_int();
                 Inst::new(OpClass::Load, Some(dest), [addr, None])
                     .with_imm(self.r_mix.range_u64(0, 32) as i8)
@@ -471,9 +513,20 @@ impl<'s> Generator<'s> {
                     .with_imm(self.r_mix.range_u64(0, 32) as i8)
             }
         } else {
-            let op = if self.r_mix.chance(0.1) { OpClass::IntMul } else { OpClass::IntAlu };
+            let op = if self.r_mix.chance(0.1) {
+                OpClass::IntMul
+            } else {
+                OpClass::IntAlu
+            };
             let dest = self.alloc_int();
-            let srcs = [self.pick_int(), if self.r_mix.chance(0.5) { self.pick_int() } else { None }];
+            let srcs = [
+                self.pick_int(),
+                if self.r_mix.chance(0.5) {
+                    self.pick_int()
+                } else {
+                    None
+                },
+            ];
             Inst::new(op, Some(dest), srcs)
         }
     }
@@ -527,13 +580,24 @@ impl<'s> Generator<'s> {
     }
 
     fn branch_srcs(&mut self) -> [Option<Reg>; 2] {
-        [self.pick_int(), if self.r_mix.chance(0.3) { self.pick_int() } else { None }]
+        [
+            self.pick_int(),
+            if self.r_mix.chance(0.3) {
+                self.pick_int()
+            } else {
+                None
+            },
+        ]
     }
 
     /// Allocates a fresh integer destination register (r1..r24; r31 is the
     /// link register, r25..r30 are left for "globals" picked occasionally).
     fn alloc_int(&mut self) -> Reg {
-        self.next_int = if self.next_int >= 24 { 1 } else { self.next_int + 1 };
+        self.next_int = if self.next_int >= 24 {
+            1
+        } else {
+            self.next_int + 1
+        };
         let r = self.next_int;
         self.recent_int.push(r);
         if self.recent_int.len() > self.spec.dep_locality {
@@ -543,7 +607,11 @@ impl<'s> Generator<'s> {
     }
 
     fn alloc_fp(&mut self) -> Reg {
-        self.next_fp = if self.next_fp >= 24 { 0 } else { self.next_fp + 1 };
+        self.next_fp = if self.next_fp >= 24 {
+            0
+        } else {
+            self.next_fp + 1
+        };
         let r = self.next_fp;
         self.recent_fp.push(r);
         if self.recent_fp.len() > self.spec.dep_locality {
@@ -600,7 +668,10 @@ mod tests {
     fn every_branch_has_a_model() {
         let w = Workload::generate(small_spec());
         assert_eq!(w.program.num_branches() as usize, w.behaviors.len());
-        assert!(!w.behaviors.is_empty(), "int workload must contain branches");
+        assert!(
+            !w.behaviors.is_empty(),
+            "int workload must contain branches"
+        );
     }
 
     #[test]
@@ -622,12 +693,14 @@ mod tests {
     #[test]
     fn fp_spec_has_loops() {
         let w = Workload::generate(WorkloadSpec::base_fp("fp-unit", 7));
-        let loops = w
-            .behaviors
-            .len();
+        let loops = w.behaviors.len();
         assert!(loops > 0);
-        let any_loop = (0..w.behaviors.len())
-            .any(|i| matches!(w.behaviors.model(fetchmech_isa::BranchId(i as u32)), BranchModel::Loop { .. }));
+        let any_loop = (0..w.behaviors.len()).any(|i| {
+            matches!(
+                w.behaviors.model(fetchmech_isa::BranchId(i as u32)),
+                BranchModel::Loop { .. }
+            )
+        });
         assert!(any_loop, "fp workload must contain loop branches");
     }
 
@@ -647,17 +720,27 @@ mod tests {
     #[test]
     fn int_spec_is_mostly_int() {
         let w = Workload::generate(small_spec());
-        let (fp, total) = w.program.blocks().iter().flat_map(|b| &b.insts).fold(
-            (0usize, 0usize),
-            |(fp, tot), i| (fp + usize::from(i.op.is_fp()), tot + 1),
-        );
+        let (fp, total) = w
+            .program
+            .blocks()
+            .iter()
+            .flat_map(|b| &b.insts)
+            .fold((0usize, 0usize), |(fp, tot), i| {
+                (fp + usize::from(i.op.is_fp()), tot + 1)
+            });
         assert!(total > 50);
-        assert!((fp as f64) < 0.1 * total as f64, "{fp}/{total} fp ops in int code");
+        assert!(
+            (fp as f64) < 0.1 * total as f64,
+            "{fp}/{total} fp ops in int code"
+        );
     }
 
     #[test]
     fn program_sizes_are_reasonable() {
-        for spec in [WorkloadSpec::base_int("i", 1), WorkloadSpec::base_fp("f", 2)] {
+        for spec in [
+            WorkloadSpec::base_int("i", 1),
+            WorkloadSpec::base_fp("f", 2),
+        ] {
             let w = Workload::generate(spec);
             let n = w.program.static_inst_upper_bound();
             assert!(n > 100, "{} too small: {n}", w.spec.name);

@@ -13,8 +13,17 @@
 use crate::spec::{Workload, WorkloadSpec};
 
 /// Names of the integer benchmarks, in the paper's order.
-pub const INT_NAMES: [&str; 9] =
-    ["bison", "compress", "eqntott", "espresso", "flex", "gcc", "li", "mpeg_play", "sc"];
+pub const INT_NAMES: [&str; 9] = [
+    "bison",
+    "compress",
+    "eqntott",
+    "espresso",
+    "flex",
+    "gcc",
+    "li",
+    "mpeg_play",
+    "sc",
+];
 
 /// Names of the floating-point benchmarks, in the paper's order.
 pub const FP_NAMES: [&str; 6] = ["doduc", "mdljdp2", "nasa7", "ora", "tomcatv", "wave5"];
@@ -198,13 +207,19 @@ pub fn benchmark(name: &str) -> Option<Workload> {
 /// Generates the nine integer benchmarks.
 #[must_use]
 pub fn int_suite() -> Vec<Workload> {
-    INT_NAMES.iter().map(|n| benchmark(n).expect("known name")).collect()
+    INT_NAMES
+        .iter()
+        .map(|n| benchmark(n).expect("known name"))
+        .collect()
 }
 
 /// Generates the six floating-point benchmarks.
 #[must_use]
 pub fn fp_suite() -> Vec<Workload> {
-    FP_NAMES.iter().map(|n| benchmark(n).expect("known name")).collect()
+    FP_NAMES
+        .iter()
+        .map(|n| benchmark(n).expect("known name"))
+        .collect()
 }
 
 /// Generates the full fifteen-benchmark suite, integer first.

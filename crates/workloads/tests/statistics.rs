@@ -76,7 +76,10 @@ fn profile_inputs_predict_the_test_input() {
                 }
             }
         }
-        assert!(considered >= 10, "{name}: too few hot branches ({considered})");
+        assert!(
+            considered >= 10,
+            "{name}: too few hot branches ({considered})"
+        );
         assert!(
             agree as f64 >= 0.9 * considered as f64,
             "{name}: only {agree}/{considered} branches agree between inputs"
@@ -143,5 +146,10 @@ fn generated_traces_serialize_and_replay() {
     let back = read_trace(buf.as_slice()).expect("read");
     assert_eq!(back, trace, "serialized trace must replay identically");
     // ~34 bytes per record: the format stays compact.
-    assert!(buf.len() < trace.len() * 40, "{} bytes for {} records", buf.len(), trace.len());
+    assert!(
+        buf.len() < trace.len() * 40,
+        "{} bytes for {} records",
+        buf.len(),
+        trace.len()
+    );
 }

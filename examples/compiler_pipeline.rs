@@ -13,7 +13,9 @@ use fetchmech::workloads::{suite, InputId, Workload};
 use fetchmech::{simulate, SchemeKind};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "compress".to_owned());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "compress".to_owned());
     let Some(bench) = suite::benchmark(&name) else {
         eprintln!(
             "unknown benchmark {name:?}; known: {:?} {:?}",
@@ -26,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 1. Profile on the five training inputs (the test input is held out).
     let profile = Profile::collect(&bench, &InputId::PROFILE, 100_000);
-    println!("profiled {name} on {} training inputs", InputId::PROFILE.len());
+    println!(
+        "profiled {name} on {} training inputs",
+        InputId::PROFILE.len()
+    );
 
     // 2. Trace selection + layout with branch-sense inversion.
     let reordered = reorder(&bench.program, &profile, &TraceSelectConfig::default());
@@ -56,8 +61,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             simulate(&machine, scheme, trace.into_iter()).ipc()
         };
         let after = {
-            let trace: Vec<_> =
-                reordered_bench.executor(&optimized, InputId::TEST, 200_000).collect();
+            let trace: Vec<_> = reordered_bench
+                .executor(&optimized, InputId::TEST, 200_000)
+                .collect();
             simulate(&machine, scheme, trace.into_iter()).ipc()
         };
         println!(

@@ -50,13 +50,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let machine = MachineModel::p112();
     let layout = Layout::natural(&asm.program, LayoutOptions::new(machine.block_bytes))?;
 
-    println!("assembled {} blocks, {} branches:", asm.program.num_blocks(), asm.program.num_branches());
+    println!(
+        "assembled {} blocks, {} branches:",
+        asm.program.num_blocks(),
+        asm.program.num_branches()
+    );
     for inst in layout.code() {
-        let bar = if inst.addr.offset_words(machine.block_bytes) == 0 { "|" } else { " " };
+        let bar = if inst.addr.offset_words(machine.block_bytes) == 0 {
+            "|"
+        } else {
+            " "
+        };
         println!("  {bar} {}", disasm(inst));
     }
 
-    println!("\n{:<14} {:>6} {:>6} {:>10}", "scheme", "IPC", "EIR", "collapsed");
+    println!(
+        "\n{:<14} {:>6} {:>6} {:>10}",
+        "scheme", "IPC", "EIR", "collapsed"
+    );
     for scheme in SchemeKind::ALL {
         let trace: Vec<_> = Executor::new(
             &asm.program,

@@ -13,8 +13,8 @@ use fetchmech::{simulate, SchemeKind};
 
 fn run(machine: &MachineModel, scheme: SchemeKind) -> f64 {
     let bench = suite::benchmark("gcc").expect("known benchmark");
-    let layout = Layout::natural(&bench.program, LayoutOptions::new(machine.block_bytes))
-        .expect("layout");
+    let layout =
+        Layout::natural(&bench.program, LayoutOptions::new(machine.block_bytes)).expect("layout");
     let trace: Vec<_> = bench.executor(&layout, InputId::TEST, 120_000).collect();
     simulate(machine, scheme, trace.into_iter()).ipc()
 }

@@ -28,15 +28,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let then_blk = b.new_block(f);
     let join = b.new_block(f);
     let exit = b.new_block(f);
-    b.push_inst(head, Inst::new(OpClass::IntAlu, Some(Reg::int(1)), [Some(Reg::int(1)), None]));
+    b.push_inst(
+        head,
+        Inst::new(
+            OpClass::IntAlu,
+            Some(Reg::int(1)),
+            [Some(Reg::int(1)), None],
+        ),
+    );
     // Hammock: usually skip `then_blk`. The skipped region is one
     // instruction, so the branch and its target share a 16-byte cache block
     // (a Table 2 "intra-block branch").
     let skip = b.set_cond_branch(head, [Some(Reg::int(1)), None], join, then_blk);
-    b.push_inst(then_blk, Inst::new(OpClass::Load, Some(Reg::int(3)), [Some(Reg::int(2)), None]));
+    b.push_inst(
+        then_blk,
+        Inst::new(OpClass::Load, Some(Reg::int(3)), [Some(Reg::int(2)), None]),
+    );
     b.set_terminator(then_blk, Terminator::FallThrough { next: join });
-    b.push_inst(join, Inst::new(OpClass::IntAlu, Some(Reg::int(4)), [Some(Reg::int(1)), None]));
-    b.push_inst(join, Inst::new(OpClass::Store, None, [Some(Reg::int(4)), Some(Reg::int(1))]));
+    b.push_inst(
+        join,
+        Inst::new(
+            OpClass::IntAlu,
+            Some(Reg::int(4)),
+            [Some(Reg::int(1)), None],
+        ),
+    );
+    b.push_inst(
+        join,
+        Inst::new(OpClass::Store, None, [Some(Reg::int(4)), Some(Reg::int(1))]),
+    );
     // Loop back to head most of the time.
     let back = b.set_cond_branch(join, [Some(Reg::int(4)), None], head, exit);
     b.set_terminator(exit, Terminator::Halt);
@@ -47,7 +67,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let layout = Layout::natural(&program, LayoutOptions::new(machine.block_bytes))?;
     println!("program ({}-byte cache blocks):", machine.block_bytes);
     for inst in layout.code() {
-        let marker = if inst.addr.offset_words(machine.block_bytes) == 0 { "|" } else { " " };
+        let marker = if inst.addr.offset_words(machine.block_bytes) == 0 {
+            "|"
+        } else {
+            " "
+        };
         println!("  {marker} {}", disasm(inst));
     }
 
@@ -64,9 +88,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         SchemeKind::BankedSequential,
         SchemeKind::CollapsingBuffer,
     ] {
-        let trace: Vec<_> =
-            Executor::new(&program, &layout, behaviors.clone(), InputId::TEST, 7, 4_000)
-                .collect();
+        let trace: Vec<_> = Executor::new(
+            &program,
+            &layout,
+            behaviors.clone(),
+            InputId::TEST,
+            7,
+            4_000,
+        )
+        .collect();
         let mut unit = build_fetch_unit(&machine, scheme, trace.into_iter());
         // Warm the caches and predictor on the first ~2000 instructions.
         let mut cycle = 0u64;

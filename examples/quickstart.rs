@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Simulate 200k dynamic instructions under each fetch mechanism.
-    println!("\n{:<14} {:>6} {:>6} {:>10} {:>12}", "scheme", "IPC", "EIR", "cycles", "mispredict%");
+    println!(
+        "\n{:<14} {:>6} {:>6} {:>10} {:>12}",
+        "scheme", "IPC", "EIR", "cycles", "mispredict%"
+    );
     for scheme in SchemeKind::ALL {
         let trace: Vec<_> = bench.executor(&layout, InputId::TEST, 200_000).collect();
         let r = simulate(&machine, scheme, trace.into_iter());

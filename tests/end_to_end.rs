@@ -44,7 +44,11 @@ fn simulation_is_bit_reproducible() {
 #[test]
 fn eir_bounds_ipc_and_issue_rate() {
     for machine in MachineModel::paper_models() {
-        for scheme in [SchemeKind::Sequential, SchemeKind::CollapsingBuffer, SchemeKind::Perfect] {
+        for scheme in [
+            SchemeKind::Sequential,
+            SchemeKind::CollapsingBuffer,
+            SchemeKind::Perfect,
+        ] {
             let r = run("espresso", &machine, scheme, 20_000);
             assert!(r.eir() >= r.ipc() - 1e-9, "{} {}", machine.name, scheme);
             assert!(

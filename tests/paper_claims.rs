@@ -26,11 +26,7 @@ fn claim_better_fetching_is_needed_at_high_issue_rates() {
 fn claim_intra_block_branches_grow_with_block_size() {
     // Table 2: the phenomenon that motivates the collapsing buffer.
     let t = Table2::run(&mut lab());
-    let grew = t
-        .rows
-        .iter()
-        .filter(|r| r.pct[2] > r.pct[0] + 5.0)
-        .count();
+    let grew = t.rows.iter().filter(|r| r.pct[2] > r.pct[0] + 5.0).count();
     assert!(grew >= 10, "only {grew}/15 benchmarks grew substantially");
     // Integer codes dominate at small blocks.
     let int_mean: f64 = t
@@ -47,7 +43,10 @@ fn claim_intra_block_branches_grow_with_block_size() {
         .map(|r| r.pct[0])
         .sum::<f64>()
         / 6.0;
-    assert!(int_mean > 0.5 * fp_wo_outliers, "int {int_mean} vs fp {fp_wo_outliers}");
+    assert!(
+        int_mean > 0.5 * fp_wo_outliers,
+        "int {int_mean} vs fp {fp_wo_outliers}"
+    );
 }
 
 #[test]
@@ -113,8 +112,7 @@ fn claim_reordering_significantly_enhances_all_schemes() {
         );
     }
     let t3 = Table3::run(&mut lab);
-    let mean: f64 =
-        t3.rows.iter().map(|r| r.reduction_pct()).sum::<f64>() / t3.rows.len() as f64;
+    let mean: f64 = t3.rows.iter().map(|r| r.reduction_pct()).sum::<f64>() / t3.rows.len() as f64;
     assert!(
         mean > 15.0,
         "mean taken-branch reduction {mean:.1}% below the paper's ballpark"

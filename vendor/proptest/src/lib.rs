@@ -1,0 +1,365 @@
+//! Offline shim of the [proptest](https://crates.io/crates/proptest) API.
+//!
+//! The fetchmech workspace builds in hermetic environments with no access to
+//! a crates registry, so the real `proptest` crate cannot be fetched. This
+//! crate re-implements the subset of the proptest 1.x surface the workspace
+//! test suites use:
+//!
+//! * [`Strategy`](strategy::Strategy) with `prop_map`, `prop_shuffle`,
+//!   `boxed`, and strategies for integer/float ranges, tuples, `Just`,
+//!   [`collection::vec`], [`option::of`], and [`arbitrary::any`];
+//! * the [`proptest!`], [`prop_compose!`], [`prop_oneof!`],
+//!   [`prop_assert!`], [`prop_assert_eq!`], and [`prop_assert_ne!`] macros;
+//! * a deterministic [`TestRunner`](test_runner::TestRunner) seeded per test
+//!   name, so failures are reproducible run to run.
+//!
+//! Semantics differ from real proptest in one significant way: **failing
+//! cases are not shrunk**. The failing input is reported verbatim.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategies generating `Option<T>` values.
+pub mod option {
+    use crate::strategy::{NewTree, Strategy, TreeOf};
+    use crate::test_runner::TestRunner;
+
+    /// Strategy produced by [`of`]: `Some` roughly 80% of the time.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    /// Wraps `inner`'s values in `Option`, generating `None` a fraction of
+    /// the time.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn new_tree(&self, runner: &mut TestRunner) -> NewTree<Self::Value> {
+            if runner.next_u64().is_multiple_of(5) {
+                Ok(TreeOf::new(None))
+            } else {
+                Ok(TreeOf::new(Some(self.0.new_tree(runner)?.into_value())))
+            }
+        }
+    }
+}
+
+/// Strategies generating collections.
+pub mod collection {
+    use std::ops::{Range, RangeInclusive};
+
+    use crate::strategy::{NewTree, Strategy, TreeOf};
+    use crate::test_runner::TestRunner;
+
+    /// A size constraint for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_excl: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            Self {
+                min: r.start,
+                max_excl: r.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            Self {
+                min: *r.start(),
+                max_excl: *r.end() + 1,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self {
+                min: n,
+                max_excl: n + 1,
+            }
+        }
+    }
+
+    /// Strategy produced by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates a `Vec` whose length lies in `size`, with elements drawn
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_tree(&self, runner: &mut TestRunner) -> NewTree<Self::Value> {
+            let span = (self.size.max_excl - self.size.min) as u64;
+            let len = self.size.min + (runner.next_u64() % span) as usize;
+            let mut out = Vec::with_capacity(len);
+            for _ in 0..len {
+                out.push(self.element.new_tree(runner)?.into_value());
+            }
+            Ok(TreeOf::new(out))
+        }
+    }
+}
+
+/// The [`Arbitrary`](arbitrary::Arbitrary) trait and [`any`](arbitrary::any).
+pub mod arbitrary {
+    use crate::strategy::{NewTree, Strategy, TreeOf};
+    use crate::test_runner::TestRunner;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        /// The strategy [`any`] returns for this type.
+        type Strategy: Strategy<Value = Self>;
+        /// Returns the canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// Returns the canonical strategy for `T` (full value range).
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+
+    /// Full-range strategy for a primitive type.
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyPrimitive<T>(std::marker::PhantomData<T>);
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for AnyPrimitive<$t> {
+                type Value = $t;
+                fn new_tree(&self, runner: &mut TestRunner) -> NewTree<$t> {
+                    Ok(TreeOf::new(runner.next_u64() as $t))
+                }
+            }
+            impl Arbitrary for $t {
+                type Strategy = AnyPrimitive<$t>;
+                fn arbitrary() -> Self::Strategy {
+                    AnyPrimitive(std::marker::PhantomData)
+                }
+            }
+        )*};
+    }
+
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for AnyPrimitive<bool> {
+        type Value = bool;
+        fn new_tree(&self, runner: &mut TestRunner) -> NewTree<bool> {
+            Ok(TreeOf::new(runner.next_u64() & 1 == 1))
+        }
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = AnyPrimitive<bool>;
+        fn arbitrary() -> Self::Strategy {
+            AnyPrimitive(std::marker::PhantomData)
+        }
+    }
+}
+
+/// The glob-import module mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof, proptest,
+    };
+    /// Namespace alias so `prop::collection::vec(...)` style paths work.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+/// Defines property tests.
+///
+/// ```text
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #[test]
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_tests! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! {
+            config = $crate::test_runner::Config::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (
+        config = $config:expr;
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                let mut runner = $crate::test_runner::TestRunner::new_with_name(
+                    config,
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                let strategy = ($($strat,)+);
+                let result = runner.run(
+                    &strategy,
+                    |($($arg,)+)| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    },
+                );
+                if let ::std::result::Result::Err(err) = result {
+                    ::std::panic!("{}", err);
+                }
+            }
+        )*
+    };
+}
+
+/// Defines a named strategy function by composing argument strategies.
+///
+/// Only the `fn name(outer)(arg in strat, ...) -> Type { body }` form is
+/// supported.
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident($($outer:tt)*)
+            ($($arg:pat_param in $strat:expr),+ $(,)?)
+            -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($outer)*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::Strategy::prop_map(
+                ($($strat,)+),
+                move |($($arg,)+)| $body,
+            )
+        }
+    };
+}
+
+/// Picks uniformly among the given strategies (weights unsupported).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Fails the current test case with a message unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: {} ({}:{})",
+                    ::std::stringify!($cond),
+                    ::std::file!(),
+                    ::std::line!()
+                ),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current test case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: `{:?}`\n right: `{:?}` ({}:{})",
+            ::std::stringify!($left),
+            ::std::stringify!($right),
+            left,
+            right,
+            ::std::file!(),
+            ::std::line!()
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "{}\n  left: `{:?}`\n right: `{:?}`",
+            ::std::format!($($fmt)+),
+            left,
+            right
+        );
+    }};
+}
+
+/// Fails the current test case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}`\n  both: `{:?}` ({}:{})",
+            ::std::stringify!($left),
+            ::std::stringify!($right),
+            left,
+            ::std::file!(),
+            ::std::line!()
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "{}\n  both: `{:?}`",
+            ::std::format!($($fmt)+),
+            left
+        );
+    }};
+}

@@ -1,0 +1,265 @@
+//! Value-generation strategies.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::test_runner::{Reason, TestRunner};
+
+/// Result of instantiating one generated value.
+pub type NewTree<T> = Result<TreeOf<T>, Reason>;
+
+/// A generated value, packaged to mirror proptest's `ValueTree`.
+///
+/// Real proptest trees support binary-search shrinking; this shim's trees
+/// hold a single already-generated value and never shrink.
+#[derive(Debug, Clone)]
+pub struct TreeOf<T> {
+    value: T,
+}
+
+impl<T> TreeOf<T> {
+    /// Wraps a generated value.
+    pub fn new(value: T) -> Self {
+        Self { value }
+    }
+
+    /// Unwraps the generated value.
+    pub fn into_value(self) -> T {
+        self.value
+    }
+}
+
+/// The value-tree interface (`current`/`simplify`/`complicate`).
+pub trait ValueTree {
+    /// The type of value this tree yields.
+    type Value;
+    /// Returns the current value.
+    fn current(&self) -> Self::Value;
+    /// Attempts to shrink; this shim never shrinks.
+    fn simplify(&mut self) -> bool {
+        false
+    }
+    /// Attempts to un-shrink; this shim never shrinks.
+    fn complicate(&mut self) -> bool {
+        false
+    }
+}
+
+impl<T: Clone> ValueTree for TreeOf<T> {
+    type Value = T;
+
+    fn current(&self) -> T {
+        self.value.clone()
+    }
+}
+
+/// A source of generated values.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Generates one value using the runner's RNG.
+    fn new_tree(&self, runner: &mut TestRunner) -> NewTree<Self::Value>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Randomly permutes generated collections.
+    fn prop_shuffle(self) -> Shuffle<Self>
+    where
+        Self: Sized,
+    {
+        Shuffle(self)
+    }
+
+    /// Erases the strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn new_tree(&self, runner: &mut TestRunner) -> NewTree<T> {
+        (**self).new_tree(runner)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn new_tree(&self, runner: &mut TestRunner) -> NewTree<Self::Value> {
+        (**self).new_tree(runner)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_tree(&self, _runner: &mut TestRunner) -> NewTree<T> {
+        Ok(TreeOf::new(self.0.clone()))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+
+    fn new_tree(&self, runner: &mut TestRunner) -> NewTree<T> {
+        Ok(TreeOf::new((self.f)(
+            self.inner.new_tree(runner)?.into_value(),
+        )))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_shuffle`].
+#[derive(Debug, Clone)]
+pub struct Shuffle<S>(S);
+
+impl<S, T> Strategy for Shuffle<S>
+where
+    S: Strategy<Value = Vec<T>>,
+{
+    type Value = Vec<T>;
+
+    fn new_tree(&self, runner: &mut TestRunner) -> NewTree<Vec<T>> {
+        let mut v = self.0.new_tree(runner)?.into_value();
+        for i in (1..v.len()).rev() {
+            let j = (runner.next_u64() % (i as u64 + 1)) as usize;
+            v.swap(i, j);
+        }
+        Ok(TreeOf::new(v))
+    }
+}
+
+/// Uniform choice among boxed strategies (the [`prop_oneof!`](crate::prop_oneof)
+/// backing type).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> std::fmt::Debug for Union<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Union")
+            .field("options", &self.options.len())
+            .finish()
+    }
+}
+
+impl<T> Union<T> {
+    /// Creates a union over the given non-empty option list.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Self { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn new_tree(&self, runner: &mut TestRunner) -> NewTree<T> {
+        let idx = (runner.next_u64() % self.options.len() as u64) as usize;
+        self.options[idx].new_tree(runner)
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn new_tree(&self, runner: &mut TestRunner) -> NewTree<$t> {
+                if self.start >= self.end {
+                    return Err(format!("empty range {:?}", self));
+                }
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (runner.next_u64() as u128 % span) as i128;
+                Ok(TreeOf::new((self.start as i128 + off) as $t))
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_tree(&self, runner: &mut TestRunner) -> NewTree<$t> {
+                if self.start() > self.end() {
+                    return Err(format!("empty range {:?}", self));
+                }
+                let span = (*self.end() as i128 - *self.start() as i128) as u128 + 1;
+                let off = (runner.next_u64() as u128 % span) as i128;
+                Ok(TreeOf::new((*self.start() as i128 + off) as $t))
+            }
+        }
+    )*};
+}
+
+int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategies {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn new_tree(&self, runner: &mut TestRunner) -> NewTree<$t> {
+                if self.start.partial_cmp(&self.end) != Some(core::cmp::Ordering::Less) {
+                    return Err(format!("empty range {:?}", self));
+                }
+                let unit = (runner.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                Ok(TreeOf::new(self.start + (self.end - self.start) * unit as $t))
+            }
+        }
+    )*};
+}
+
+float_range_strategies!(f32, f64);
+
+macro_rules! tuple_strategies {
+    ($(($($S:ident . $idx:tt),+))+) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn new_tree(&self, runner: &mut TestRunner) -> NewTree<Self::Value> {
+                Ok(TreeOf::new(($(self.$idx.new_tree(runner)?.into_value(),)+)))
+            }
+        }
+    )+};
+}
+
+tuple_strategies! {
+    (S0.0)
+    (S0.0, S1.1)
+    (S0.0, S1.1, S2.2)
+    (S0.0, S1.1, S2.2, S3.3)
+    (S0.0, S1.1, S2.2, S3.3, S4.4)
+    (S0.0, S1.1, S2.2, S3.3, S4.4, S5.5)
+    (S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6)
+    (S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6, S7.7)
+    (S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6, S7.7, S8.8)
+    (S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6, S7.7, S8.8, S9.9)
+}

@@ -1,0 +1,166 @@
+//! The deterministic test runner.
+
+use std::fmt;
+
+use crate::strategy::{Strategy, ValueTree};
+
+/// The reason a strategy failed to produce a value.
+pub type Reason = String;
+
+/// Per-test configuration (mirrors `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl Config {
+    /// Returns a config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A failure raised inside one test case (by the `prop_assert*` macros).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case found a counterexample.
+    Fail(String),
+    /// The case asked to be discarded (unsupported filter path).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        Self::Fail(reason.into())
+    }
+
+    /// Creates a rejection with the given message.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        Self::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+/// A whole-test failure: the case number, input, and inner error.
+#[derive(Debug, Clone)]
+pub struct TestError {
+    name: String,
+    case: u32,
+    input: String,
+    error: TestCaseError,
+}
+
+impl fmt::Display for TestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "proptest {}: case {} failed (no shrinking in offline shim)\n\
+             input: {}\n{}",
+            self.name, self.case, self.input, self.error
+        )
+    }
+}
+
+impl std::error::Error for TestError {}
+
+/// Runs strategies against a test closure with a deterministic RNG.
+///
+/// The RNG is seeded from the test name, so every run of a given test
+/// explores the same case sequence (reproducible without persistence files).
+#[derive(Debug, Clone)]
+pub struct TestRunner {
+    config: Config,
+    name: String,
+    state: u64,
+}
+
+impl TestRunner {
+    /// Creates a runner with the given config and a fixed default seed.
+    pub fn new(config: Config) -> Self {
+        Self::new_with_name(config, "proptest")
+    }
+
+    /// Creates a runner seeded from `name`.
+    pub fn new_with_name(config: Config, name: &str) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self {
+            config,
+            name: name.to_string(),
+            state: seed,
+        }
+    }
+
+    /// Creates a default-config runner with a fixed seed.
+    pub fn deterministic() -> Self {
+        Self::new(Config::default())
+    }
+
+    /// Returns the next raw 64-bit random value (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Runs `test` against `config.cases` values drawn from `strategy`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing case (the input is reported verbatim — this
+    /// shim does not shrink).
+    pub fn run<S, F>(&mut self, strategy: &S, mut test: F) -> Result<(), TestError>
+    where
+        S: Strategy,
+        S::Value: Clone + fmt::Debug,
+        F: FnMut(S::Value) -> Result<(), TestCaseError>,
+    {
+        for case in 0..self.config.cases {
+            let tree = match strategy.new_tree(self) {
+                Ok(t) => t,
+                Err(reason) => {
+                    return Err(TestError {
+                        name: self.name.clone(),
+                        case,
+                        input: "<generation failed>".to_string(),
+                        error: TestCaseError::fail(reason),
+                    })
+                }
+            };
+            let value = tree.current();
+            match test(value.clone()) {
+                Ok(()) | Err(TestCaseError::Reject(_)) => {}
+                Err(err @ TestCaseError::Fail(_)) => {
+                    return Err(TestError {
+                        name: self.name.clone(),
+                        case,
+                        input: format!("{value:#?}"),
+                        error: err,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
