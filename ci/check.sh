@@ -29,4 +29,7 @@ cargo test --workspace -q
 echo "==> fetchmech-lint (full suite)"
 cargo run -q -p fetchmech-analysis --bin fetchmech-lint -- --deny-warnings
 
+echo "==> timing smoke: serial vs parallel runner (writes BENCH_PR3.json)"
+cargo run --release -q -p fetchmech-repro --example runner_bench
+
 echo "CI checks passed."

@@ -2,7 +2,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fetchmech::isa::{Layout, LayoutOptions};
-use fetchmech::pipeline::MachineModel;
+use fetchmech::pipeline::{MachineModel, TraceCursor};
 use fetchmech::sim::measure_eir;
 use fetchmech::workloads::{suite, InputId};
 use fetchmech::SchemeKind;
@@ -13,10 +13,10 @@ fn bench(c: &mut Criterion) {
     let w = suite::benchmark("gcc").expect("known benchmark");
     let layout =
         Layout::natural(&w.program, LayoutOptions::new(machine.block_bytes)).expect("layout");
-    let trace: Vec<_> = w.executor(&layout, InputId::TEST, 10_000).collect();
+    let trace: TraceCursor = w.executor(&layout, InputId::TEST, 10_000).collect();
     for scheme in SchemeKind::ALL {
         g.bench_function(scheme.name(), |b| {
-            b.iter(|| measure_eir(&machine, scheme, trace.clone().into_iter()).eir())
+            b.iter(|| measure_eir(&machine, scheme, trace.clone()).eir())
         });
     }
     g.finish();

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fetchmech::isa::{Layout, LayoutOptions};
-use fetchmech::pipeline::MachineModel;
+use fetchmech::pipeline::{MachineModel, TraceCursor};
 use fetchmech::workloads::{suite, InputId};
 use fetchmech::{simulate, SchemeKind};
 
@@ -15,10 +15,10 @@ fn bench(c: &mut Criterion) {
         let machine = MachineModel::p112().with_fetch_penalty(penalty);
         let layout =
             Layout::natural(&w.program, LayoutOptions::new(machine.block_bytes)).expect("layout");
-        let trace: Vec<_> = w.executor(&layout, InputId::TEST, 10_000).collect();
+        let trace: TraceCursor = w.executor(&layout, InputId::TEST, 10_000).collect();
         g.bench_function(format!("collapsing/penalty{penalty}"), |b| {
             b.iter(|| {
-                simulate(&machine, SchemeKind::CollapsingBuffer, trace.clone().into_iter()).ipc()
+                simulate(&machine, SchemeKind::CollapsingBuffer, trace.clone()).ipc()
             })
         });
     }

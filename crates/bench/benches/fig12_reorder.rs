@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fetchmech::compiler::{reorder, Profile, TraceSelectConfig};
-use fetchmech::pipeline::MachineModel;
+use fetchmech::pipeline::{MachineModel, TraceCursor};
 use fetchmech::workloads::{suite, InputId, Workload};
 use fetchmech::{simulate, SchemeKind};
 
@@ -22,9 +22,9 @@ fn bench(c: &mut Criterion) {
     let machine = MachineModel::p14();
     let layout = r.layout(machine.block_bytes).expect("layout");
     let rw = Workload { spec: w.spec.clone(), program: r.program.clone(), behaviors: w.behaviors.clone() };
-    let trace: Vec<_> = rw.executor(&layout, InputId::TEST, 10_000).collect();
+    let trace: TraceCursor = rw.executor(&layout, InputId::TEST, 10_000).collect();
     g.bench_function("simulate-reordered", |b| {
-        b.iter(|| simulate(&machine, SchemeKind::InterleavedSequential, trace.clone().into_iter()).ipc())
+        b.iter(|| simulate(&machine, SchemeKind::InterleavedSequential, trace.clone()).ipc())
     });
     g.finish();
 }

@@ -2,7 +2,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fetchmech::compiler::{layout_pad_all, reorder, Profile, TraceSelectConfig};
-use fetchmech::pipeline::MachineModel;
+use fetchmech::pipeline::{MachineModel, TraceCursor};
 use fetchmech::workloads::{suite, InputId, Workload};
 use fetchmech::{simulate, SchemeKind};
 
@@ -15,16 +15,16 @@ fn bench(c: &mut Criterion) {
     let r = reorder(&w.program, &profile, &TraceSelectConfig::default());
 
     let pad_all = layout_pad_all(&w.program, machine.block_bytes).expect("layout");
-    let trace_all: Vec<_> = w.executor(&pad_all, InputId::TEST, 10_000).collect();
+    let trace_all: TraceCursor = w.executor(&pad_all, InputId::TEST, 10_000).collect();
     g.bench_function("sequential/pad-all", |b| {
-        b.iter(|| simulate(&machine, SchemeKind::Sequential, trace_all.clone().into_iter()).ipc())
+        b.iter(|| simulate(&machine, SchemeKind::Sequential, trace_all.clone()).ipc())
     });
 
     let pad_trace = r.layout_pad_trace(machine.block_bytes).expect("layout");
     let rw = Workload { spec: w.spec.clone(), program: r.program.clone(), behaviors: w.behaviors.clone() };
-    let trace_tr: Vec<_> = rw.executor(&pad_trace, InputId::TEST, 10_000).collect();
+    let trace_tr: TraceCursor = rw.executor(&pad_trace, InputId::TEST, 10_000).collect();
     g.bench_function("sequential/pad-trace", |b| {
-        b.iter(|| simulate(&machine, SchemeKind::Sequential, trace_tr.clone().into_iter()).ipc())
+        b.iter(|| simulate(&machine, SchemeKind::Sequential, trace_tr.clone()).ipc())
     });
     g.finish();
 }

@@ -42,12 +42,13 @@ fn main() -> ExitCode {
         wanted = ALL.iter().map(|s| (*s).to_owned()).collect();
     }
     let cfg = if quick { ExpConfig::quick() } else { ExpConfig::full() };
-    let mut lab = Lab::new(cfg);
+    let lab = Lab::new(cfg);
     eprintln!(
-        "# fetchmech report ({} mode: {} insts/run, {} insts/profile-input)",
+        "# fetchmech report ({} mode: {} insts/run, {} insts/profile-input, {} worker threads)",
         if quick { "quick" } else { "full" },
         cfg.trace_len,
-        cfg.profile_len
+        cfg.profile_len,
+        lab.runner().threads()
     );
     for name in wanted {
         eprintln!("# running {name} ...");
@@ -66,19 +67,30 @@ fn main() -> ExitCode {
                 }
                 println!();
             }
-            "fig3" => println!("{}", Fig3::run(&mut lab)),
-            "table2" => println!("{}", Table2::run(&mut lab)),
-            "fig9" => println!("{}", Fig9::run(&mut lab)),
-            "fig10" => println!("{}", Fig10::run(&mut lab)),
-            "fig11" => println!("{}", Fig11::run(&mut lab)),
-            "fig12" => println!("{}", Fig12::run(&mut lab)),
-            "table3" => println!("{}", Table3::run(&mut lab)),
-            "table4" => println!("{}", Table4::run(&mut lab)),
-            "fig13" => println!("{}", Fig13::run(&mut lab)),
-            "predictors" => println!("{}", ExtPredictors::run(&mut lab)),
-            "ablations" => println!("{}", Ablations::run(&mut lab)),
+            "fig3" => println!("{}", Fig3::run(&lab)),
+            "table2" => println!("{}", Table2::run(&lab)),
+            "fig9" => println!("{}", Fig9::run(&lab)),
+            "fig10" => println!("{}", Fig10::run(&lab)),
+            "fig11" => println!("{}", Fig11::run(&lab)),
+            "fig12" => println!("{}", Fig12::run(&lab)),
+            "table3" => println!("{}", Table3::run(&lab)),
+            "table4" => println!("{}", Table4::run(&lab)),
+            "fig13" => println!("{}", Fig13::run(&lab)),
+            "predictors" => println!("{}", ExtPredictors::run(&lab)),
+            "ablations" => println!("{}", Ablations::run(&lab)),
             _ => unreachable!("validated above"),
         }
     }
+    let stats = lab.cache_stats();
+    eprintln!(
+        "# shared caches: {} traces generated / {} hits, {} layouts built / {} hits, \
+         {} profiles collected, {} reorderings",
+        stats.trace_generations,
+        stats.trace_hits,
+        stats.layout_builds,
+        stats.layout_hits,
+        stats.profile_collections,
+        stats.reorder_builds
+    );
     ExitCode::SUCCESS
 }

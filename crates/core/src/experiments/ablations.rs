@@ -9,7 +9,7 @@ use std::fmt;
 use fetchmech_pipeline::MachineModel;
 use fetchmech_workloads::WorkloadClass;
 
-use super::Lab;
+use super::{Lab, LayoutVariant};
 use crate::metrics::harmonic_mean;
 use crate::scheme::SchemeKind;
 
@@ -62,54 +62,75 @@ pub struct Ablations {
 }
 
 impl Ablations {
-    /// Runs all three sweeps.
-    pub fn run(lab: &mut Lab) -> Self {
-        let benches: Vec<_> = lab.class(WorkloadClass::Int).into_iter().cloned().collect();
-        let mean = |lab: &Lab, m: &MachineModel, s: SchemeKind| {
-            let v: Vec<f64> = benches
-                .iter()
-                .map(|w| lab.run_natural(m, s, w).ipc())
-                .collect();
-            harmonic_mean(&v)
-        };
-        let point = |lab: &Lab, m: &MachineModel, value: u64| AblationRow {
-            value,
-            sequential: mean(lab, m, SchemeKind::Sequential),
-            collapsing: mean(lab, m, SchemeKind::CollapsingBuffer),
-        };
-
+    /// Runs all three sweeps as one flat job grid. Every machine variant
+    /// shares the P112 block size, so all runs draw on the same cached
+    /// traces — only the simulations differ per sweep point.
+    pub fn run(lab: &Lab) -> Self {
+        let names = lab.class_names(WorkloadClass::Int);
+        let n = names.len();
         let base = MachineModel::p112();
-        let btb = Sweep {
-            name: "BTB entries",
-            paper_value: 1024,
-            rows: [64usize, 256, 1024, 4096]
-                .into_iter()
-                .map(|entries| {
-                    let mut m = base.clone();
-                    m.btb_entries = entries;
-                    point(lab, &m, entries as u64)
-                })
-                .collect(),
+
+        // Sweep-point machine variants, in (btb, spec_depth, ras) order.
+        let btb_values: [u64; 4] = [64, 256, 1024, 4096];
+        let spec_values: [u32; 5] = [1, 2, 4, 6, 12];
+        let ras_values: [u32; 3] = [0, 4, 16];
+        let mut points: Vec<(u64, MachineModel)> = Vec::new();
+        for entries in btb_values {
+            let mut m = base.clone();
+            m.btb_entries = entries as usize;
+            points.push((entries, m));
+        }
+        for d in spec_values {
+            let mut m = base.clone();
+            m.spec_depth = d;
+            points.push((u64::from(d), m));
+        }
+        for r in ras_values {
+            points.push((u64::from(r), base.clone().with_ras(r)));
+        }
+
+        let mut jobs = Vec::new();
+        for (_, machine) in &points {
+            for scheme in [SchemeKind::Sequential, SchemeKind::CollapsingBuffer] {
+                for &bench in &names {
+                    jobs.push((machine.clone(), scheme, bench));
+                }
+            }
+        }
+        let ipcs = lab.runner().run(&jobs, |(machine, scheme, bench)| {
+            lab.run(machine, *scheme, bench, LayoutVariant::Natural)
+                .ipc()
+        });
+
+        let mut idx = 0;
+        let take_mean = |idx: &mut usize| {
+            let m = harmonic_mean(&ipcs[*idx..*idx + n]);
+            *idx += n;
+            m
+        };
+        let mut rows: Vec<AblationRow> = points
+            .iter()
+            .map(|&(value, _)| AblationRow {
+                value,
+                sequential: take_mean(&mut idx),
+                collapsing: take_mean(&mut idx),
+            })
+            .collect();
+
+        let ras = Sweep {
+            name: "RAS entries",
+            paper_value: 0,
+            rows: rows.split_off(btb_values.len() + spec_values.len()),
         };
         let spec_depth = Sweep {
             name: "speculation depth",
             paper_value: 6,
-            rows: [1u32, 2, 4, 6, 12]
-                .into_iter()
-                .map(|d| {
-                    let mut m = base.clone();
-                    m.spec_depth = d;
-                    point(lab, &m, u64::from(d))
-                })
-                .collect(),
+            rows: rows.split_off(btb_values.len()),
         };
-        let ras = Sweep {
-            name: "RAS entries",
-            paper_value: 0,
-            rows: [0u32, 4, 16]
-                .into_iter()
-                .map(|n| point(lab, &base.clone().with_ras(n), u64::from(n)))
-                .collect(),
+        let btb = Sweep {
+            name: "BTB entries",
+            paper_value: 1024,
+            rows,
         };
         Ablations {
             btb,
@@ -159,8 +180,8 @@ mod tests {
 
     #[test]
     fn ablation_trends_are_sane() {
-        let mut lab = Lab::new(ExpConfig::quick());
-        let a = Ablations::run(&mut lab);
+        let lab = Lab::new(ExpConfig::quick());
+        let a = Ablations::run(&lab);
 
         // More BTB never hurts much; a 64-entry BTB clearly hurts.
         let btb = &a.btb.rows;

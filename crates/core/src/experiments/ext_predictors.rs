@@ -17,9 +17,10 @@ use fetchmech_bpred::{GshareConfig, PredictorKind};
 use fetchmech_pipeline::MachineModel;
 use fetchmech_workloads::WorkloadClass;
 
-use super::Lab;
+use super::{Lab, LayoutVariant};
 use crate::metrics::harmonic_mean;
 use crate::scheme::SchemeKind;
+use crate::sim::SimResult;
 
 /// Results for one machine under one predictor.
 #[derive(Debug, Clone, PartialEq)]
@@ -58,42 +59,66 @@ pub struct ExtPredictors {
 }
 
 impl ExtPredictors {
-    /// Runs the experiment.
-    pub fn run(lab: &mut Lab) -> Self {
-        let benches: Vec<_> = lab.class(WorkloadClass::Int).into_iter().cloned().collect();
+    /// Runs the experiment. Each (machine, predictor) cell is three
+    /// per-benchmark job groups — banked, crossbar collapsing (2-cycle),
+    /// shifter collapsing (3-cycle) — and the crossbar runs supply both the
+    /// misprediction rates and the IPC mean from a single simulation each.
+    pub fn run(lab: &Lab) -> Self {
+        let names = lab.class_names(WorkloadClass::Int);
+        let n = names.len();
         let predictors = [
             PredictorKind::TwoBitBtb,
             PredictorKind::Tournament(GshareConfig::default_4k()),
         ];
-        let mut rows = Vec::new();
+        let mut jobs = Vec::new();
         for base in MachineModel::paper_models() {
             for predictor in predictors {
                 let machine = base.clone().with_predictor(predictor);
-                let run_mean = |lab: &Lab, m: &MachineModel, s: SchemeKind| {
-                    let v: Vec<f64> = benches
-                        .iter()
-                        .map(|w| lab.run_natural(m, s, w).ipc())
-                        .collect();
-                    harmonic_mean(&v)
-                };
-                let runs: Vec<_> = benches
-                    .iter()
-                    .map(|w| lab.run_natural(&machine, SchemeKind::CollapsingBuffer, w))
-                    .collect();
-                let rates: Vec<f64> = runs.iter().map(|r| r.fetch.mispredict_rate()).collect();
-                let dir_rates: Vec<f64> = runs
-                    .iter()
-                    .map(|r| r.fetch.cond_dir_mispredict_rate())
-                    .collect();
                 let shifter = machine.clone().with_fetch_penalty(3);
+                let groups = [
+                    (&machine, SchemeKind::BankedSequential),
+                    (&machine, SchemeKind::CollapsingBuffer),
+                    (&shifter, SchemeKind::CollapsingBuffer),
+                ];
+                for (m, scheme) in groups {
+                    for &bench in &names {
+                        jobs.push((m.clone(), scheme, bench));
+                    }
+                }
+            }
+        }
+        let results = lab.runner().run(&jobs, |(machine, scheme, bench)| {
+            lab.run(machine, *scheme, bench, LayoutVariant::Natural)
+        });
+
+        let mean_ipc = |runs: &[SimResult]| {
+            let v: Vec<f64> = runs.iter().map(SimResult::ipc).collect();
+            harmonic_mean(&v)
+        };
+        let mut rows = Vec::new();
+        let mut idx = 0;
+        for base in MachineModel::paper_models() {
+            for predictor in predictors {
+                let banked_runs = &results[idx..idx + n];
+                let p2_runs = &results[idx + n..idx + 2 * n];
+                let p3_runs = &results[idx + 2 * n..idx + 3 * n];
+                idx += 3 * n;
                 rows.push(ExtPredictorsRow {
                     machine: base.name.clone(),
                     predictor,
-                    mispredict_rate: rates.iter().sum::<f64>() / rates.len() as f64,
-                    dir_mispredict_rate: dir_rates.iter().sum::<f64>() / dir_rates.len() as f64,
-                    banked: run_mean(lab, &machine, SchemeKind::BankedSequential),
-                    collapsing_p2: run_mean(lab, &machine, SchemeKind::CollapsingBuffer),
-                    collapsing_p3: run_mean(lab, &shifter, SchemeKind::CollapsingBuffer),
+                    mispredict_rate: p2_runs
+                        .iter()
+                        .map(|r| r.fetch.mispredict_rate())
+                        .sum::<f64>()
+                        / n as f64,
+                    dir_mispredict_rate: p2_runs
+                        .iter()
+                        .map(|r| r.fetch.cond_dir_mispredict_rate())
+                        .sum::<f64>()
+                        / n as f64,
+                    banked: mean_ipc(banked_runs),
+                    collapsing_p2: mean_ipc(p2_runs),
+                    collapsing_p3: mean_ipc(p3_runs),
                 });
             }
         }
@@ -155,8 +180,8 @@ mod tests {
 
     #[test]
     fn tournament_reduces_mispredictions_and_helps_the_shifter() {
-        let mut lab = Lab::new(ExpConfig::quick());
-        let ext = ExtPredictors::run(&mut lab);
+        let lab = Lab::new(ExpConfig::quick());
+        let ext = ExtPredictors::run(&lab);
         assert_eq!(ext.rows.len(), 6);
         for machine in ["P14", "P18", "P112"] {
             let twobit = ext.row(machine, PredictorKind::TwoBitBtb).expect("row");

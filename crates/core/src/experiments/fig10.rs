@@ -8,7 +8,7 @@ use std::fmt;
 use fetchmech_pipeline::MachineModel;
 use fetchmech_workloads::WorkloadClass;
 
-use super::{class_label, Lab};
+use super::{class_label, Lab, LayoutVariant};
 use crate::metrics::harmonic_mean;
 use crate::scheme::SchemeKind;
 
@@ -46,22 +46,39 @@ pub struct Fig10 {
 impl Fig10 {
     /// Runs the experiment: fetch-only EIR per scheme, aggregated with the
     /// harmonic mean across benchmarks, then expressed relative to perfect.
-    pub fn run(lab: &mut Lab) -> Self {
+    /// The perfect bound rides in the same job grid as the hardware schemes.
+    pub fn run(lab: &Lab) -> Self {
+        let machines = MachineModel::paper_models();
+        let classes = [WorkloadClass::Int, WorkloadClass::Fp];
+        let schemes: Vec<SchemeKind> = std::iter::once(SchemeKind::Perfect)
+            .chain(SchemeKind::HARDWARE)
+            .collect();
+        let mut jobs = Vec::new();
+        for machine in &machines {
+            for class in classes {
+                for &scheme in &schemes {
+                    for bench in lab.class_names(class) {
+                        jobs.push((machine.clone(), scheme, bench));
+                    }
+                }
+            }
+        }
+        let eirs = lab.runner().run(&jobs, |(machine, scheme, bench)| {
+            lab.eir(machine, *scheme, bench, LayoutVariant::Natural)
+                .eir()
+        });
+
         let mut rows = Vec::new();
-        for machine in MachineModel::paper_models() {
-            for class in [WorkloadClass::Int, WorkloadClass::Fp] {
-                let benches: Vec<_> = lab.class(class).into_iter().cloned().collect();
-                let mean_eir = |lab: &Lab, scheme: SchemeKind| {
-                    let values: Vec<f64> = benches
-                        .iter()
-                        .map(|w| lab.eir_natural(&machine, scheme, w).eir())
-                        .collect();
-                    harmonic_mean(&values)
-                };
-                let perfect = mean_eir(lab, SchemeKind::Perfect);
+        let mut idx = 0;
+        for machine in &machines {
+            for class in classes {
+                let n = lab.class_names(class).len();
+                let perfect = harmonic_mean(&eirs[idx..idx + n]);
+                idx += n;
                 let mut pct = [0.0; 4];
-                for (i, scheme) in SchemeKind::HARDWARE.into_iter().enumerate() {
-                    pct[i] = 100.0 * mean_eir(lab, scheme) / perfect;
+                for slot in &mut pct {
+                    *slot = 100.0 * harmonic_mean(&eirs[idx..idx + n]) / perfect;
+                    idx += n;
                 }
                 rows.push(Fig10Row {
                     machine: machine.name.clone(),
@@ -118,8 +135,8 @@ mod tests {
 
     #[test]
     fn fig10_collapsing_buffer_is_scalable() {
-        let mut lab = Lab::new(ExpConfig::quick());
-        let fig = Fig10::run(&mut lab);
+        let lab = Lab::new(ExpConfig::quick());
+        let fig = Fig10::run(&lab);
         assert_eq!(fig.rows.len(), 6);
         for r in &fig.rows {
             // Ratios are percentages of an upper bound.

@@ -7,7 +7,7 @@ use std::fmt;
 use fetchmech_pipeline::MachineModel;
 use fetchmech_workloads::WorkloadClass;
 
-use super::Lab;
+use super::{Lab, LayoutVariant};
 use crate::metrics::harmonic_mean;
 use crate::scheme::SchemeKind;
 
@@ -45,25 +45,47 @@ pub struct Fig11 {
 }
 
 impl Fig11 {
-    /// Runs the experiment.
-    pub fn run(lab: &mut Lab) -> Self {
-        let mut rows = Vec::new();
-        for machine in MachineModel::paper_models() {
-            let benches: Vec<_> = lab.class(WorkloadClass::Int).into_iter().cloned().collect();
-            let mean_ipc = |lab: &Lab, machine: &MachineModel, scheme: SchemeKind| {
-                let values: Vec<f64> = benches
-                    .iter()
-                    .map(|w| lab.run_natural(machine, scheme, w).ipc())
-                    .collect();
-                harmonic_mean(&values)
-            };
-            let mut hardware = [0.0; 4];
-            for (i, scheme) in SchemeKind::HARDWARE.into_iter().enumerate() {
-                hardware[i] = mean_ipc(lab, &machine, scheme);
+    /// Runs the experiment. The shifter (3-cycle penalty) machine shares the
+    /// same cache-block size as its base machine, so its runs are trace-cache
+    /// hits — only the simulations differ.
+    pub fn run(lab: &Lab) -> Self {
+        let machines = MachineModel::paper_models();
+        let names = lab.class_names(WorkloadClass::Int);
+        let n = names.len();
+        let mut jobs = Vec::new();
+        for machine in &machines {
+            for scheme in SchemeKind::HARDWARE {
+                for &bench in &names {
+                    jobs.push((machine.clone(), scheme, bench));
+                }
             }
             let shifter = machine.clone().with_fetch_penalty(3);
-            let collapsing_penalty3 = mean_ipc(lab, &shifter, SchemeKind::CollapsingBuffer);
-            let perfect = mean_ipc(lab, &machine, SchemeKind::Perfect);
+            for &bench in &names {
+                jobs.push((shifter.clone(), SchemeKind::CollapsingBuffer, bench));
+            }
+            for &bench in &names {
+                jobs.push((machine.clone(), SchemeKind::Perfect, bench));
+            }
+        }
+        let ipcs = lab.runner().run(&jobs, |(machine, scheme, bench)| {
+            lab.run(machine, *scheme, bench, LayoutVariant::Natural)
+                .ipc()
+        });
+
+        let mut rows = Vec::new();
+        let mut idx = 0;
+        let take_mean = |idx: &mut usize| {
+            let m = harmonic_mean(&ipcs[*idx..*idx + n]);
+            *idx += n;
+            m
+        };
+        for machine in &machines {
+            let mut hardware = [0.0; 4];
+            for slot in &mut hardware {
+                *slot = take_mean(&mut idx);
+            }
+            let collapsing_penalty3 = take_mean(&mut idx);
+            let perfect = take_mean(&mut idx);
             rows.push(Fig11Row {
                 machine: machine.name.clone(),
                 hardware,
@@ -104,8 +126,8 @@ mod tests {
 
     #[test]
     fn fig11_shifter_loses_the_edge() {
-        let mut lab = Lab::new(ExpConfig::quick());
-        let fig = Fig11::run(&mut lab);
+        let lab = Lab::new(ExpConfig::quick());
+        let fig = Fig11::run(&lab);
         assert_eq!(fig.rows.len(), 3);
         for r in &fig.rows {
             // The extra penalty must cost performance...

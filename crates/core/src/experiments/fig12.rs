@@ -8,7 +8,7 @@ use std::fmt;
 use fetchmech_pipeline::MachineModel;
 use fetchmech_workloads::WorkloadClass;
 
-use super::Lab;
+use super::{Lab, LayoutVariant};
 use crate::metrics::harmonic_mean;
 use crate::scheme::SchemeKind;
 
@@ -46,45 +46,54 @@ pub struct Fig12 {
 }
 
 impl Fig12 {
-    /// Runs the experiment.
+    /// Runs the experiment. Reordered runs share one cached reordering,
+    /// layout, and trace per benchmark across all five schemes.
     ///
     /// # Panics
     ///
     /// Panics if a reordered layout fails to build (an internal invariant).
-    pub fn run(lab: &mut Lab) -> Self {
-        let names: Vec<&'static str> = lab
-            .class(WorkloadClass::Int)
-            .into_iter()
-            .map(|w| w.spec.name)
-            .collect();
-        let mut rows = Vec::new();
-        for machine in MachineModel::paper_models() {
-            let mut seq_unordered = Vec::new();
-            let mut perf_unordered = Vec::new();
-            let mut reordered_ipc: [Vec<f64>; 5] = Default::default();
-            for &name in &names {
-                let w = lab.bench(name).clone();
-                seq_unordered.push(lab.run_natural(&machine, SchemeKind::Sequential, &w).ipc());
-                perf_unordered.push(lab.run_natural(&machine, SchemeKind::Perfect, &w).ipc());
-
-                let rw = lab.reordered_workload(name);
-                let layout = lab
-                    .reordered(name)
-                    .layout(machine.block_bytes)
-                    .expect("reordered layout");
-                for (i, scheme) in SchemeKind::ALL.into_iter().enumerate() {
-                    reordered_ipc[i].push(lab.run_layout(&machine, scheme, &rw, &layout).ipc());
+    pub fn run(lab: &Lab) -> Self {
+        let machines = MachineModel::paper_models();
+        let names = lab.class_names(WorkloadClass::Int);
+        let n = names.len();
+        let mut jobs = Vec::new();
+        for machine in &machines {
+            for scheme in [SchemeKind::Sequential, SchemeKind::Perfect] {
+                for &bench in &names {
+                    jobs.push((machine.clone(), scheme, bench, LayoutVariant::Natural));
                 }
             }
+            for scheme in SchemeKind::ALL {
+                for &bench in &names {
+                    jobs.push((machine.clone(), scheme, bench, LayoutVariant::Reordered));
+                }
+            }
+        }
+        let ipcs = lab
+            .runner()
+            .run(&jobs, |(machine, scheme, bench, variant)| {
+                lab.run(machine, *scheme, bench, *variant).ipc()
+            });
+
+        let mut rows = Vec::new();
+        let mut idx = 0;
+        let take_mean = |idx: &mut usize| {
+            let m = harmonic_mean(&ipcs[*idx..*idx + n]);
+            *idx += n;
+            m
+        };
+        for machine in &machines {
+            let sequential_unordered = take_mean(&mut idx);
+            let perfect_unordered = take_mean(&mut idx);
             let mut reordered = [0.0; 5];
-            for (i, values) in reordered_ipc.iter().enumerate() {
-                reordered[i] = harmonic_mean(values);
+            for slot in &mut reordered {
+                *slot = take_mean(&mut idx);
             }
             rows.push(Fig12Row {
                 machine: machine.name.clone(),
-                sequential_unordered: harmonic_mean(&seq_unordered),
+                sequential_unordered,
                 reordered,
-                perfect_unordered: harmonic_mean(&perf_unordered),
+                perfect_unordered,
             });
         }
         Fig12 { rows }
@@ -120,8 +129,8 @@ mod tests {
 
     #[test]
     fn fig12_reordering_lifts_all_schemes() {
-        let mut lab = Lab::new(ExpConfig::quick());
-        let fig = Fig12::run(&mut lab);
+        let lab = Lab::new(ExpConfig::quick());
+        let fig = Fig12::run(&lab);
         assert_eq!(fig.rows.len(), 3);
         for r in &fig.rows {
             // Reordered sequential beats unordered sequential.

@@ -4,11 +4,10 @@
 
 use std::fmt;
 
-use fetchmech_compiler::layout_pad_all;
 use fetchmech_pipeline::MachineModel;
 use fetchmech_workloads::WorkloadClass;
 
-use super::Lab;
+use super::{Lab, LayoutVariant};
 use crate::metrics::harmonic_mean;
 use crate::scheme::SchemeKind;
 
@@ -38,56 +37,53 @@ pub struct Fig13 {
 }
 
 impl Fig13 {
-    /// Runs the experiment.
+    /// Runs the experiment. Every (scheme, layout-variant) cell of the grid —
+    /// including the pad-all and pad-trace images — draws its layout and
+    /// trace from the lab's shared caches.
     ///
     /// # Panics
     ///
     /// Panics if a layout fails to build (an internal invariant).
-    pub fn run(lab: &mut Lab) -> Self {
-        let names: Vec<&'static str> = lab
-            .class(WorkloadClass::Int)
-            .into_iter()
-            .map(|w| w.spec.name)
-            .collect();
-        let mut rows = Vec::new();
-        for machine in MachineModel::paper_models() {
-            let bs = machine.block_bytes;
-            let mut unordered = Vec::new();
-            let mut pad_all = Vec::new();
-            let mut reordered = Vec::new();
-            let mut pad_trace = Vec::new();
-            let mut perfect = Vec::new();
-            for &name in &names {
-                let w = lab.bench(name).clone();
-                unordered.push(lab.run_natural(&machine, SchemeKind::Sequential, &w).ipc());
-                perfect.push(lab.run_natural(&machine, SchemeKind::Perfect, &w).ipc());
-
-                let all_layout = layout_pad_all(&w.program, bs).expect("pad-all layout");
-                pad_all.push(
-                    lab.run_layout(&machine, SchemeKind::Sequential, &w, &all_layout)
-                        .ipc(),
-                );
-
-                let rw = lab.reordered_workload(name);
-                let r = lab.reordered(name).clone();
-                let rl = r.layout(bs).expect("reordered layout");
-                reordered.push(
-                    lab.run_layout(&machine, SchemeKind::Sequential, &rw, &rl)
-                        .ipc(),
-                );
-                let tl = r.layout_pad_trace(bs).expect("pad-trace layout");
-                pad_trace.push(
-                    lab.run_layout(&machine, SchemeKind::Sequential, &rw, &tl)
-                        .ipc(),
-                );
+    pub fn run(lab: &Lab) -> Self {
+        let machines = MachineModel::paper_models();
+        let names = lab.class_names(WorkloadClass::Int);
+        let n = names.len();
+        let cells = [
+            (SchemeKind::Sequential, LayoutVariant::Natural),
+            (SchemeKind::Sequential, LayoutVariant::PadAll),
+            (SchemeKind::Sequential, LayoutVariant::Reordered),
+            (SchemeKind::Sequential, LayoutVariant::PadTrace),
+            (SchemeKind::Perfect, LayoutVariant::Natural),
+        ];
+        let mut jobs = Vec::new();
+        for machine in &machines {
+            for (scheme, variant) in cells {
+                for &bench in &names {
+                    jobs.push((machine.clone(), scheme, bench, variant));
+                }
             }
+        }
+        let ipcs = lab
+            .runner()
+            .run(&jobs, |(machine, scheme, bench, variant)| {
+                lab.run(machine, *scheme, bench, *variant).ipc()
+            });
+
+        let mut rows = Vec::new();
+        let mut idx = 0;
+        let take_mean = |idx: &mut usize| {
+            let m = harmonic_mean(&ipcs[*idx..*idx + n]);
+            *idx += n;
+            m
+        };
+        for machine in &machines {
             rows.push(Fig13Row {
                 machine: machine.name.clone(),
-                unordered: harmonic_mean(&unordered),
-                pad_all: harmonic_mean(&pad_all),
-                reordered: harmonic_mean(&reordered),
-                pad_trace: harmonic_mean(&pad_trace),
-                perfect_unordered: harmonic_mean(&perfect),
+                unordered: take_mean(&mut idx),
+                pad_all: take_mean(&mut idx),
+                reordered: take_mean(&mut idx),
+                pad_trace: take_mean(&mut idx),
+                perfect_unordered: take_mean(&mut idx),
             });
         }
         Fig13 { rows }
@@ -123,8 +119,8 @@ mod tests {
 
     #[test]
     fn fig13_padding_effects_match_paper() {
-        let mut lab = Lab::new(ExpConfig::quick());
-        let fig = Fig13::run(&mut lab);
+        let lab = Lab::new(ExpConfig::quick());
+        let fig = Fig13::run(&lab);
         assert_eq!(fig.rows.len(), 3);
         for r in &fig.rows {
             // Reordering is the big win for sequential.

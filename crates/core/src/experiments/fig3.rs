@@ -7,7 +7,7 @@ use std::fmt;
 use fetchmech_pipeline::MachineModel;
 use fetchmech_workloads::WorkloadClass;
 
-use super::{class_label, Lab};
+use super::{class_label, Lab, LayoutVariant};
 use crate::metrics::harmonic_mean;
 use crate::scheme::SchemeKind;
 
@@ -40,17 +40,38 @@ pub struct Fig3 {
 }
 
 impl Fig3 {
-    /// Runs the experiment.
-    pub fn run(lab: &mut Lab) -> Self {
+    /// Runs the experiment: the (machine × class × benchmark × scheme) grid
+    /// is expanded into independent jobs, executed on the lab's worker pool,
+    /// and folded back in deterministic grid order.
+    pub fn run(lab: &Lab) -> Self {
+        let machines = MachineModel::paper_models();
+        let classes = [WorkloadClass::Int, WorkloadClass::Fp];
+        let mut jobs = Vec::new();
+        for machine in &machines {
+            for class in classes {
+                for bench in lab.class_names(class) {
+                    for scheme in [SchemeKind::Sequential, SchemeKind::Perfect] {
+                        jobs.push((machine.clone(), scheme, bench));
+                    }
+                }
+            }
+        }
+        let ipcs = lab.runner().run(&jobs, |(machine, scheme, bench)| {
+            lab.run(machine, *scheme, bench, LayoutVariant::Natural)
+                .ipc()
+        });
+
         let mut rows = Vec::new();
-        for machine in MachineModel::paper_models() {
-            for class in [WorkloadClass::Int, WorkloadClass::Fp] {
-                let benches: Vec<_> = lab.class(class).into_iter().cloned().collect();
-                let mut seq = Vec::new();
-                let mut per = Vec::new();
-                for w in &benches {
-                    seq.push(lab.run_natural(&machine, SchemeKind::Sequential, w).ipc());
-                    per.push(lab.run_natural(&machine, SchemeKind::Perfect, w).ipc());
+        let mut idx = 0;
+        for machine in &machines {
+            for class in classes {
+                let n = lab.class_names(class).len();
+                let mut seq = Vec::with_capacity(n);
+                let mut per = Vec::with_capacity(n);
+                for _ in 0..n {
+                    seq.push(ipcs[idx]);
+                    per.push(ipcs[idx + 1]);
+                    idx += 2;
                 }
                 rows.push(Fig3Row {
                     machine: machine.name.clone(),
@@ -100,8 +121,8 @@ mod tests {
 
     #[test]
     fn fig3_shape_matches_paper() {
-        let mut lab = Lab::new(ExpConfig::quick());
-        let fig = Fig3::run(&mut lab);
+        let lab = Lab::new(ExpConfig::quick());
+        let fig = Fig3::run(&lab);
         assert_eq!(fig.rows.len(), 6);
         for r in &fig.rows {
             assert!(

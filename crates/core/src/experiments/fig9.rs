@@ -7,7 +7,7 @@ use std::fmt;
 use fetchmech_pipeline::MachineModel;
 use fetchmech_workloads::WorkloadClass;
 
-use super::{class_label, Lab};
+use super::{class_label, Lab, LayoutVariant};
 use crate::metrics::harmonic_mean;
 use crate::scheme::SchemeKind;
 
@@ -42,19 +42,35 @@ pub struct Fig9 {
 }
 
 impl Fig9 {
-    /// Runs the experiment.
-    pub fn run(lab: &mut Lab) -> Self {
+    /// Runs the experiment on the lab's worker pool; the full
+    /// (machine × class × scheme × benchmark) grid runs as one job list.
+    pub fn run(lab: &Lab) -> Self {
+        let machines = MachineModel::paper_models();
+        let classes = [WorkloadClass::Int, WorkloadClass::Fp];
+        let mut jobs = Vec::new();
+        for machine in &machines {
+            for class in classes {
+                for scheme in SchemeKind::ALL {
+                    for bench in lab.class_names(class) {
+                        jobs.push((machine.clone(), scheme, bench));
+                    }
+                }
+            }
+        }
+        let ipcs = lab.runner().run(&jobs, |(machine, scheme, bench)| {
+            lab.run(machine, *scheme, bench, LayoutVariant::Natural)
+                .ipc()
+        });
+
         let mut rows = Vec::new();
-        for machine in MachineModel::paper_models() {
-            for class in [WorkloadClass::Int, WorkloadClass::Fp] {
-                let benches: Vec<_> = lab.class(class).into_iter().cloned().collect();
+        let mut idx = 0;
+        for machine in &machines {
+            for class in classes {
+                let n = lab.class_names(class).len();
                 let mut ipc = [0.0; 5];
-                for (i, scheme) in SchemeKind::ALL.into_iter().enumerate() {
-                    let per_bench: Vec<f64> = benches
-                        .iter()
-                        .map(|w| lab.run_natural(&machine, scheme, w).ipc())
-                        .collect();
-                    ipc[i] = harmonic_mean(&per_bench);
+                for slot in &mut ipc {
+                    *slot = harmonic_mean(&ipcs[idx..idx + n]);
+                    idx += n;
                 }
                 rows.push(Fig9Row {
                     machine: machine.name.clone(),
@@ -104,8 +120,8 @@ mod tests {
 
     #[test]
     fn fig9_scheme_ordering_matches_paper() {
-        let mut lab = Lab::new(ExpConfig::quick());
-        let fig = Fig9::run(&mut lab);
+        let lab = Lab::new(ExpConfig::quick());
+        let fig = Fig9::run(&lab);
         assert_eq!(fig.rows.len(), 6);
         for r in &fig.rows {
             let seq = r.ipc_of(SchemeKind::Sequential);

@@ -6,17 +6,32 @@
 //! the integration tests assert their qualitative shape (who wins, how the
 //! trend moves with issue rate).
 //!
-//! All drivers hang off [`Lab`], which lazily generates and caches the
-//! benchmark suite, profiles, and reordered programs so that a full report
-//! run does each expensive step once.
+//! All drivers hang off [`Lab`], the shared experiment state. The lab is
+//! fully thread-safe (`&self` everywhere): benchmark programs, profiles,
+//! reordered programs, layouts, and — most importantly — materialized dynamic
+//! traces live in concurrent exactly-once caches, so every expensive artifact
+//! is computed a single time per process no matter how many drivers or worker
+//! threads ask for it. Traces are shared as `Arc<[DynInst]>` slices and
+//! handed to the simulator by reference-count bump (see
+//! [`TraceCursor`](fetchmech_pipeline::TraceCursor)), never copied or
+//! regenerated per run.
+//!
+//! Drivers expand their (workload × scheme × machine × layout) grids into job
+//! lists and execute them on the lab's [`Runner`] worker pool; results are
+//! folded in deterministic grid order, so serial (`FETCHMECH_THREADS=1`) and
+//! parallel runs produce bit-identical output.
 
 use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
-use fetchmech_compiler::{reorder, Profile, Reordered, TraceSelectConfig};
+use fetchmech_compiler::{layout_pad_all, reorder, Profile, Reordered, TraceSelectConfig};
 use fetchmech_isa::{DynInst, Layout, LayoutOptions};
 use fetchmech_pipeline::MachineModel;
 use fetchmech_workloads::{suite, InputId, Workload, WorkloadClass};
 
+use crate::runner::Runner;
 use crate::scheme::SchemeKind;
 use crate::sim::{measure_eir, simulate, EirResult, SimResult};
 
@@ -79,32 +94,187 @@ impl Default for ExpConfig {
     }
 }
 
-/// The experiment laboratory: benchmark suite plus lazily-computed profiles
-/// and reordered programs, shared across all drivers.
+/// Which (program, layout) variant of a benchmark a run executes.
+///
+/// Together with the benchmark name and cache-block size this fully
+/// identifies a static code image, and therefore (with input and length) a
+/// dynamic trace — it is the layout component of the trace-cache key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayoutVariant {
+    /// The natural (program-order) layout of the original program.
+    Natural,
+    /// The original program with `pad-all` nop padding (§4.1).
+    PadAll,
+    /// The profile-driven trace-reordered program (§4, Figure 12).
+    Reordered,
+    /// The reordered program with `pad-trace` nop padding (§4.1).
+    PadTrace,
+}
+
+impl LayoutVariant {
+    /// All variants.
+    pub const ALL: [LayoutVariant; 4] = [
+        LayoutVariant::Natural,
+        LayoutVariant::PadAll,
+        LayoutVariant::Reordered,
+        LayoutVariant::PadTrace,
+    ];
+
+    /// Returns `true` if runs of this variant execute the reordered program
+    /// rather than the original.
+    #[must_use]
+    pub fn uses_reordered_program(self) -> bool {
+        matches!(self, LayoutVariant::Reordered | LayoutVariant::PadTrace)
+    }
+}
+
+/// Cache key fully identifying one materialized dynamic trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceKey {
+    /// Benchmark name.
+    pub bench: &'static str,
+    /// Program/layout variant.
+    pub variant: LayoutVariant,
+    /// Cache-block size the layout was built for.
+    pub block_bytes: u64,
+    /// Program input.
+    pub input: InputId,
+    /// Trace length in dynamic instructions.
+    pub limit: u64,
+}
+
+/// A concurrent exactly-once memo table.
+///
+/// The outer map lock is held only long enough to fetch or insert a per-key
+/// cell; the (possibly expensive) compute runs under the cell's own
+/// `OnceLock`, so distinct keys compute in parallel while a second requester
+/// of the *same* key blocks until the first finishes — each value is computed
+/// exactly once per process.
+#[derive(Debug)]
+struct Memo<K, V> {
+    cells: Mutex<HashMap<K, Arc<OnceLock<V>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Eq + Hash, V: Clone> Memo<K, V> {
+    fn new() -> Self {
+        Self {
+            cells: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn get_or_compute(&self, key: K, compute: impl FnOnce() -> V) -> V {
+        let cell = Arc::clone(
+            self.cells
+                .lock()
+                .expect("memo map lock poisoned")
+                .entry(key)
+                .or_default(),
+        );
+        let mut computed = false;
+        let value = cell
+            .get_or_init(|| {
+                computed = true;
+                compute()
+            })
+            .clone();
+        if computed {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        value
+    }
+
+    fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+/// Hit/miss counters for the lab's shared caches.
+///
+/// A *miss* is an actual computation (a trace generation, a layout build, a
+/// profiling run); a *hit* returned an already-shared `Arc`. Duplicate work
+/// is eliminated exactly when the miss counters equal the number of distinct
+/// keys requested.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LabCacheStats {
+    /// Trace-cache hits (shared `Arc<[DynInst]>` returned, no generation).
+    pub trace_hits: u64,
+    /// Traces actually generated (one per distinct [`TraceKey`]).
+    pub trace_generations: u64,
+    /// Layout-cache hits.
+    pub layout_hits: u64,
+    /// Layouts actually built.
+    pub layout_builds: u64,
+    /// Profile-cache hits.
+    pub profile_hits: u64,
+    /// Profiles actually collected.
+    pub profile_collections: u64,
+    /// Reorder-cache hits.
+    pub reorder_hits: u64,
+    /// Reorderings actually computed.
+    pub reorder_builds: u64,
+}
+
+/// The experiment laboratory: benchmark suite plus concurrently cached
+/// profiles, reordered programs, layouts, and materialized traces, shared
+/// across all drivers and worker threads.
 #[derive(Debug)]
 pub struct Lab {
     cfg: ExpConfig,
-    benchmarks: Vec<Workload>,
-    profiles: HashMap<&'static str, Profile>,
-    reordered: HashMap<&'static str, Reordered>,
+    runner: Runner,
+    benchmarks: Vec<Arc<Workload>>,
+    profiles: Memo<&'static str, Arc<Profile>>,
+    reordered: Memo<&'static str, Arc<Reordered>>,
+    reordered_workloads: Memo<&'static str, Arc<Workload>>,
+    layouts: Memo<(&'static str, LayoutVariant, u64), Arc<Layout>>,
+    traces: Memo<TraceKey, Arc<[DynInst]>>,
 }
 
 impl Lab {
-    /// Creates a lab over the full fifteen-benchmark suite.
+    /// Creates a lab over the full fifteen-benchmark suite, with the worker
+    /// pool sized from the environment (`FETCHMECH_THREADS`, else the
+    /// machine's available parallelism).
     ///
     /// In debug builds this also installs the `fetchmech-analysis` verifier
     /// hooks, so every program, layout, profile, trace selection, and reorder
-    /// any driver produces is checked at its construction site.
+    /// any driver produces is checked at its construction site. The hook
+    /// slots are process-global `OnceLock`s, so installation and invocation
+    /// are thread-safe under the parallel runner.
     #[must_use]
     pub fn new(cfg: ExpConfig) -> Self {
+        Self::with_runner(cfg, Runner::from_env())
+    }
+
+    /// A lab with an explicit worker count (1 = fully serial execution).
+    #[must_use]
+    pub fn with_threads(cfg: ExpConfig, threads: usize) -> Self {
+        Self::with_runner(cfg, Runner::new(threads))
+    }
+
+    /// A lab with an explicit runner.
+    #[must_use]
+    pub fn with_runner(cfg: ExpConfig, runner: Runner) -> Self {
         if cfg!(debug_assertions) {
             fetchmech_analysis::install_debug_hooks();
         }
         Self {
             cfg,
-            benchmarks: suite::full_suite(),
-            profiles: HashMap::new(),
-            reordered: HashMap::new(),
+            runner,
+            benchmarks: suite::full_suite().into_iter().map(Arc::new).collect(),
+            profiles: Memo::new(),
+            reordered: Memo::new(),
+            reordered_workloads: Memo::new(),
+            layouts: Memo::new(),
+            traces: Memo::new(),
         }
     }
 
@@ -114,13 +284,26 @@ impl Lab {
         self.cfg
     }
 
+    /// The worker pool the drivers execute their grids on.
+    #[must_use]
+    pub fn runner(&self) -> Runner {
+        self.runner
+    }
+
     /// All benchmarks of the given class.
     #[must_use]
     pub fn class(&self, class: WorkloadClass) -> Vec<&Workload> {
         self.benchmarks
             .iter()
+            .map(Arc::as_ref)
             .filter(|w| w.spec.class == class)
             .collect()
+    }
+
+    /// Benchmark names of the given class, in suite order.
+    #[must_use]
+    pub fn class_names(&self, class: WorkloadClass) -> Vec<&'static str> {
+        self.class(class).into_iter().map(|w| w.spec.name).collect()
     }
 
     /// A benchmark by name.
@@ -136,83 +319,151 @@ impl Lab {
             .unwrap_or_else(|| panic!("unknown benchmark {name}"))
     }
 
-    /// The profile for `name`, collected on the five training inputs.
-    pub fn profile(&mut self, name: &'static str) -> &Profile {
-        if !self.profiles.contains_key(name) {
-            let w = self.bench(name).clone();
-            let p = Profile::collect(&w, &InputId::PROFILE, self.cfg.profile_len);
-            self.profiles.insert(name, p);
-        }
-        &self.profiles[name]
+    /// The profile for `name`, collected once on the five training inputs.
+    pub fn profile(&self, name: &'static str) -> Arc<Profile> {
+        self.profiles.get_or_compute(name, || {
+            let w = self.bench(name);
+            Arc::new(Profile::collect(w, &InputId::PROFILE, self.cfg.profile_len))
+        })
     }
 
-    /// The reordered (trace-laid-out) form of `name`.
-    pub fn reordered(&mut self, name: &'static str) -> &Reordered {
-        if !self.reordered.contains_key(name) {
-            let profile = self.profile(name).clone();
+    /// The reordered (trace-laid-out) form of `name`, computed once.
+    pub fn reordered(&self, name: &'static str) -> Arc<Reordered> {
+        self.reordered.get_or_compute(name, || {
+            let profile = self.profile(name);
             let w = self.bench(name);
-            let r = reorder(&w.program, &profile, &TraceSelectConfig::default());
-            self.reordered.insert(name, r);
-        }
-        &self.reordered[name]
+            Arc::new(reorder(&w.program, &profile, &TraceSelectConfig::default()))
+        })
     }
 
     /// A reordered benchmark as a [`Workload`] (same behaviours, edited
     /// program), for executing against a reordered layout.
-    pub fn reordered_workload(&mut self, name: &'static str) -> Workload {
-        let r = self.reordered(name).program.clone();
-        let w = self.bench(name);
-        Workload {
-            spec: w.spec.clone(),
-            program: r,
-            behaviors: w.behaviors.clone(),
+    pub fn reordered_workload(&self, name: &'static str) -> Arc<Workload> {
+        self.reordered_workloads.get_or_compute(name, || {
+            let r = self.reordered(name).program.clone();
+            let w = self.bench(name);
+            Arc::new(Workload {
+                spec: w.spec.clone(),
+                program: r,
+                behaviors: w.behaviors.clone(),
+            })
+        })
+    }
+
+    /// The workload whose program a given layout variant executes.
+    #[must_use]
+    pub fn workload(&self, name: &'static str, variant: LayoutVariant) -> Arc<Workload> {
+        if variant.uses_reordered_program() {
+            self.reordered_workload(name)
+        } else {
+            Arc::clone(
+                self.benchmarks
+                    .iter()
+                    .find(|w| w.spec.name == name)
+                    .unwrap_or_else(|| panic!("unknown benchmark {name}")),
+            )
         }
     }
 
-    /// Collects the test-input trace of `workload` under `layout`.
-    #[must_use]
-    pub fn trace(&self, workload: &Workload, layout: &Layout) -> Vec<DynInst> {
-        workload
-            .executor(layout, InputId::TEST, self.cfg.trace_len)
-            .collect()
+    /// The layout of `name` under `variant` at `block_bytes`, built once and
+    /// shared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layout fails to build (an internal invariant: all suite
+    /// programs lay out at all paper block sizes).
+    pub fn layout(
+        &self,
+        name: &'static str,
+        variant: LayoutVariant,
+        block_bytes: u64,
+    ) -> Arc<Layout> {
+        self.layouts
+            .get_or_compute((name, variant, block_bytes), || {
+                let layout = match variant {
+                    LayoutVariant::Natural => {
+                        Layout::natural(&self.bench(name).program, LayoutOptions::new(block_bytes))
+                    }
+                    LayoutVariant::PadAll => layout_pad_all(&self.bench(name).program, block_bytes),
+                    LayoutVariant::Reordered => self.reordered(name).layout(block_bytes),
+                    LayoutVariant::PadTrace => self.reordered(name).layout_pad_trace(block_bytes),
+                };
+                Arc::new(layout.unwrap_or_else(|e| {
+                    panic!("{name}/{variant:?} layout at {block_bytes} B failed: {e:?}")
+                }))
+            })
     }
 
-    /// Runs one full simulation on the natural layout.
-    pub fn run_natural(
+    /// The materialized dynamic trace for `key`, generated exactly once per
+    /// process and shared zero-copy as an `Arc<[DynInst]>`.
+    pub fn trace(&self, key: TraceKey) -> Arc<[DynInst]> {
+        self.traces.get_or_compute(key, || {
+            let w = self.workload(key.bench, key.variant);
+            let layout = self.layout(key.bench, key.variant, key.block_bytes);
+            // Pre-size to the trace length: the executor's upper size hint is
+            // exact for suite programs, so generation never reallocates.
+            let mut v: Vec<DynInst> = Vec::with_capacity(usize::try_from(key.limit).unwrap_or(0));
+            v.extend(w.executor(&layout, key.input, key.limit));
+            Arc::from(v)
+        })
+    }
+
+    /// The standard measurement trace: test input, configured trace length.
+    pub fn test_trace(
+        &self,
+        bench: &'static str,
+        variant: LayoutVariant,
+        block_bytes: u64,
+    ) -> Arc<[DynInst]> {
+        self.trace(TraceKey {
+            bench,
+            variant,
+            block_bytes,
+            input: InputId::TEST,
+            limit: self.cfg.trace_len,
+        })
+    }
+
+    /// Runs one full simulation of `bench` under `variant` on `machine`.
+    ///
+    /// The trace comes from the shared cache (generated on first use) and is
+    /// lent to the simulator by refcount bump.
+    pub fn run(
         &self,
         machine: &MachineModel,
         scheme: SchemeKind,
-        workload: &Workload,
+        bench: &'static str,
+        variant: LayoutVariant,
     ) -> SimResult {
-        let layout = Layout::natural(&workload.program, LayoutOptions::new(machine.block_bytes))
-            .expect("natural layout");
-        let trace = self.trace(workload, &layout);
-        simulate(machine, scheme, trace.into_iter())
+        let trace = self.test_trace(bench, variant, machine.block_bytes);
+        simulate(machine, scheme, &trace)
     }
 
-    /// Runs one full simulation on an explicit layout of `workload`.
-    pub fn run_layout(
+    /// Fetch-only EIR measurement of `bench` under `variant` on `machine`.
+    pub fn eir(
         &self,
         machine: &MachineModel,
         scheme: SchemeKind,
-        workload: &Workload,
-        layout: &Layout,
-    ) -> SimResult {
-        let trace = self.trace(workload, layout);
-        simulate(machine, scheme, trace.into_iter())
-    }
-
-    /// Fetch-only EIR measurement on the natural layout.
-    pub fn eir_natural(
-        &self,
-        machine: &MachineModel,
-        scheme: SchemeKind,
-        workload: &Workload,
+        bench: &'static str,
+        variant: LayoutVariant,
     ) -> EirResult {
-        let layout = Layout::natural(&workload.program, LayoutOptions::new(machine.block_bytes))
-            .expect("natural layout");
-        let trace = self.trace(workload, &layout);
-        measure_eir(machine, scheme, trace.into_iter())
+        let trace = self.test_trace(bench, variant, machine.block_bytes);
+        measure_eir(machine, scheme, &trace)
+    }
+
+    /// Snapshot of the shared-cache hit/miss counters.
+    #[must_use]
+    pub fn cache_stats(&self) -> LabCacheStats {
+        LabCacheStats {
+            trace_hits: self.traces.hits(),
+            trace_generations: self.traces.misses(),
+            layout_hits: self.layouts.hits(),
+            layout_builds: self.layouts.misses(),
+            profile_hits: self.profiles.hits(),
+            profile_collections: self.profiles.misses(),
+            reorder_hits: self.reordered.hits(),
+            reorder_builds: self.reordered.misses(),
+        }
     }
 }
 
@@ -231,13 +482,51 @@ mod tests {
 
     #[test]
     fn lab_caches_profiles_and_reorderings() {
-        let mut lab = Lab::new(ExpConfig::quick());
-        let a = lab.profile("compress").clone();
-        let b = lab.profile("compress").clone();
-        assert_eq!(a, b);
-        let ra = lab.reordered("compress").order.clone();
-        let rb = lab.reordered("compress").order.clone();
-        assert_eq!(ra, rb);
+        let lab = Lab::new(ExpConfig::quick());
+        let a = lab.profile("compress");
+        let b = lab.profile("compress");
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must share the Arc");
+        let ra = lab.reordered("compress");
+        let rb = lab.reordered("compress");
+        assert!(Arc::ptr_eq(&ra, &rb));
+        let stats = lab.cache_stats();
+        assert_eq!(stats.profile_collections, 1);
+        // Two direct lookups plus the reordering's internal one: 2 hits.
+        assert_eq!(stats.profile_hits, 2);
+        assert_eq!(stats.reorder_builds, 1);
+        assert_eq!(stats.reorder_hits, 1);
+    }
+
+    #[test]
+    fn trace_cache_generates_each_key_once() {
+        let lab = Lab::with_threads(ExpConfig::quick(), 1);
+        let a = lab.test_trace("compress", LayoutVariant::Natural, 16);
+        let b = lab.test_trace("compress", LayoutVariant::Natural, 16);
+        assert!(Arc::ptr_eq(&a, &b), "cache must return the same allocation");
+        assert_eq!(a.len(), ExpConfig::quick().trace_len as usize);
+        // A different block size is a different static image.
+        let c = lab.test_trace("compress", LayoutVariant::Natural, 32);
+        assert!(!Arc::ptr_eq(&a, &c));
+        let stats = lab.cache_stats();
+        assert_eq!(stats.trace_generations, 2);
+        assert_eq!(stats.trace_hits, 1);
+    }
+
+    #[test]
+    fn trace_cache_is_shared_across_threads() {
+        let lab = Lab::with_threads(ExpConfig::quick(), 4);
+        let jobs: Vec<u32> = (0..8).collect();
+        let traces = lab.runner().run(&jobs, |_| {
+            lab.test_trace("eqntott", LayoutVariant::Natural, 16)
+        });
+        for t in &traces {
+            assert!(
+                Arc::ptr_eq(&traces[0], t),
+                "all workers must share one trace"
+            );
+        }
+        assert_eq!(lab.cache_stats().trace_generations, 1);
+        assert_eq!(lab.cache_stats().trace_hits, 7);
     }
 
     #[test]
@@ -247,5 +536,20 @@ mod tests {
         let fp = lab.class(WorkloadClass::Fp).len();
         assert_eq!(int, 9);
         assert_eq!(fp, 6);
+        assert_eq!(lab.class_names(WorkloadClass::Int).len(), 9);
+    }
+
+    #[test]
+    fn reordered_variants_use_the_reordered_program() {
+        let lab = Lab::new(ExpConfig::quick());
+        for v in LayoutVariant::ALL {
+            let w = lab.workload("compress", v);
+            let same_as_base = w.program == lab.bench("compress").program;
+            assert_eq!(
+                same_as_base,
+                !v.uses_reordered_program(),
+                "{v:?}: wrong program variant"
+            );
+        }
     }
 }

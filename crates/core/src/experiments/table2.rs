@@ -4,11 +4,11 @@
 
 use std::fmt;
 
-use fetchmech_isa::{Layout, LayoutOptions, TraceStats};
+use fetchmech_isa::TraceStats;
 use fetchmech_pipeline::MachineModel;
-use fetchmech_workloads::{InputId, WorkloadClass};
+use fetchmech_workloads::WorkloadClass;
 
-use super::Lab;
+use super::{Lab, LayoutVariant};
 
 /// One benchmark row of Table 2.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,30 +31,42 @@ pub struct Table2 {
 
 impl Table2 {
     /// Runs the experiment. One trace per benchmark per block size (block
-    /// size changes the layout geometry, so the trace is regenerated).
-    pub fn run(lab: &mut Lab) -> Self {
+    /// size changes the layout geometry, so each is a distinct trace-cache
+    /// key) — but the traces are the same ones the simulation drivers use,
+    /// so across a full report they are generated only once.
+    pub fn run(lab: &Lab) -> Self {
         let block_sizes: Vec<u64> = MachineModel::paper_models()
             .iter()
             .map(|m| m.block_bytes)
             .collect();
-        let mut rows = Vec::new();
-        for class in [WorkloadClass::Int, WorkloadClass::Fp] {
-            for w in lab.class(class).into_iter().cloned().collect::<Vec<_>>() {
-                let mut pct = [0.0; 3];
-                for (i, &bs) in block_sizes.iter().enumerate() {
-                    let layout = Layout::natural(&w.program, LayoutOptions::new(bs))
-                        .expect("natural layout");
-                    let mut stats = TraceStats::new();
-                    for inst in w.executor(&layout, InputId::TEST, lab.config().trace_len) {
-                        stats.observe(&inst, bs);
-                    }
-                    pct[i] = stats.intra_block_pct();
+        let classes = [WorkloadClass::Int, WorkloadClass::Fp];
+        let mut jobs = Vec::new();
+        for class in classes {
+            for bench in lab.class_names(class) {
+                for &bs in &block_sizes {
+                    jobs.push((bench, bs));
                 }
-                rows.push(Table2Row {
-                    bench: w.spec.name,
-                    class: w.spec.class,
-                    pct,
-                });
+            }
+        }
+        let pcts = lab.runner().run(&jobs, |&(bench, bs)| {
+            let trace = lab.test_trace(bench, LayoutVariant::Natural, bs);
+            let mut stats = TraceStats::new();
+            for inst in trace.iter() {
+                stats.observe(inst, bs);
+            }
+            stats.intra_block_pct()
+        });
+
+        let mut rows = Vec::new();
+        let mut idx = 0;
+        for class in classes {
+            for bench in lab.class_names(class) {
+                let mut pct = [0.0; 3];
+                for slot in &mut pct {
+                    *slot = pcts[idx];
+                    idx += 1;
+                }
+                rows.push(Table2Row { bench, class, pct });
             }
         }
         Table2 { rows }
@@ -93,8 +105,8 @@ mod tests {
 
     #[test]
     fn table2_trends_match_paper() {
-        let mut lab = Lab::new(ExpConfig::quick());
-        let t = Table2::run(&mut lab);
+        let lab = Lab::new(ExpConfig::quick());
+        let t = Table2::run(&lab);
         assert_eq!(t.rows.len(), 15);
 
         // The fraction is non-decreasing in block size for every benchmark

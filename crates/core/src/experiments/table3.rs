@@ -3,10 +3,10 @@
 
 use std::fmt;
 
-use fetchmech_isa::{Layout, LayoutOptions, OpClass};
-use fetchmech_workloads::{InputId, Workload, WorkloadClass};
+use fetchmech_isa::{DynInst, OpClass};
+use fetchmech_workloads::WorkloadClass;
 
-use super::Lab;
+use super::{Lab, LayoutVariant};
 
 /// One benchmark row of Table 3.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,37 +49,36 @@ impl Table3 {
     /// # Panics
     ///
     /// Panics if a reordered layout fails to build (an internal invariant).
-    pub fn run(lab: &mut Lab) -> Self {
-        let names: Vec<&'static str> = lab
-            .class(WorkloadClass::Int)
-            .into_iter()
-            .map(|w| w.spec.name)
-            .collect();
-        let len = lab.config().trace_len;
-        let rate = |w: &Workload, l: &Layout| {
+    pub fn run(lab: &Lab) -> Self {
+        let names = lab.class_names(WorkloadClass::Int);
+        let rate = |trace: &[DynInst]| {
             let mut taken = 0u64;
             let mut useful = 0u64;
-            for i in w.executor(l, InputId::TEST, len) {
+            for i in trace {
                 taken += u64::from(i.is_taken_control());
                 useful += u64::from(i.ctrl.is_none() && i.op != OpClass::Nop);
             }
             taken as f64 / useful.max(1) as f64
         };
-        let mut rows = Vec::new();
-        for name in names {
-            let w = lab.bench(name).clone();
-            let natural =
-                Layout::natural(&w.program, LayoutOptions::new(16)).expect("natural layout");
-            let before = rate(&w, &natural);
-            let rw = lab.reordered_workload(name);
-            let layout = lab.reordered(name).layout(16).expect("reordered layout");
-            let after = rate(&rw, &layout);
-            rows.push(Table3Row {
-                bench: name,
-                before,
-                after,
-            });
+        let mut jobs = Vec::new();
+        for &bench in &names {
+            for variant in [LayoutVariant::Natural, LayoutVariant::Reordered] {
+                jobs.push((bench, variant));
+            }
         }
+        let rates = lab.runner().run(&jobs, |&(bench, variant)| {
+            rate(&lab.test_trace(bench, variant, 16))
+        });
+
+        let rows = names
+            .iter()
+            .zip(rates.chunks_exact(2))
+            .map(|(&bench, pair)| Table3Row {
+                bench,
+                before: pair[0],
+                after: pair[1],
+            })
+            .collect();
         Table3 { rows }
     }
 
@@ -122,8 +121,8 @@ mod tests {
 
     #[test]
     fn table3_reordering_removes_taken_branches() {
-        let mut lab = Lab::new(ExpConfig::quick());
-        let t = Table3::run(&mut lab);
+        let lab = Lab::new(ExpConfig::quick());
+        let t = Table3::run(&lab);
         assert_eq!(t.rows.len(), 9);
         for r in &t.rows {
             assert!(

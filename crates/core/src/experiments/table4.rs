@@ -28,34 +28,46 @@ pub struct Table4 {
 }
 
 impl Table4 {
-    /// Runs the experiment (purely static: layout only, no simulation).
+    /// Runs the experiment (purely static: layout only, no simulation). The
+    /// per-(benchmark, block-size) expansion measurements are independent
+    /// jobs; the reordering each needs is computed once in the lab's shared
+    /// cache.
     ///
     /// # Panics
     ///
     /// Panics if a layout fails to build (an internal invariant).
-    pub fn run(lab: &mut Lab) -> Self {
-        let names: Vec<&'static str> = lab
-            .class(WorkloadClass::Int)
-            .into_iter()
-            .map(|w| w.spec.name)
-            .collect();
-        let mut rows = Vec::new();
-        for name in names {
-            let program = lab.bench(name).program.clone();
-            let reordered = lab.reordered(name).clone();
-            let mut pad_all = [0.0; 3];
-            let mut pad_trace = [0.0; 3];
-            for (i, bs) in [16u64, 32, 64].into_iter().enumerate() {
-                let (all, trace) = expansion(&program, &reordered, bs).expect("padding layouts");
-                pad_all[i] = all.pad_pct;
-                pad_trace[i] = trace.pad_pct;
+    pub fn run(lab: &Lab) -> Self {
+        let names = lab.class_names(WorkloadClass::Int);
+        let mut jobs = Vec::new();
+        for &name in &names {
+            for bs in [16u64, 32, 64] {
+                jobs.push((name, bs));
             }
-            rows.push(Table4Row {
-                bench: name,
-                pad_all,
-                pad_trace,
-            });
         }
+        let pairs = lab.runner().run(&jobs, |&(name, bs)| {
+            let reordered = lab.reordered(name);
+            let (all, trace) =
+                expansion(&lab.bench(name).program, &reordered, bs).expect("padding layouts");
+            (all.pad_pct, trace.pad_pct)
+        });
+
+        let rows = names
+            .iter()
+            .zip(pairs.chunks_exact(3))
+            .map(|(&bench, chunk)| {
+                let mut pad_all = [0.0; 3];
+                let mut pad_trace = [0.0; 3];
+                for (i, &(all, trace)) in chunk.iter().enumerate() {
+                    pad_all[i] = all;
+                    pad_trace[i] = trace;
+                }
+                Table4Row {
+                    bench,
+                    pad_all,
+                    pad_trace,
+                }
+            })
+            .collect();
         Table4 { rows }
     }
 
@@ -101,8 +113,8 @@ mod tests {
 
     #[test]
     fn table4_magnitudes_match_paper() {
-        let mut lab = Lab::new(ExpConfig::quick());
-        let t = Table4::run(&mut lab);
+        let lab = Lab::new(ExpConfig::quick());
+        let t = Table4::run(&lab);
         assert_eq!(t.rows.len(), 9);
         for r in &t.rows {
             for i in 0..3 {

@@ -27,7 +27,7 @@
 //! let layout = Layout::natural(&bench.program, LayoutOptions::new(machine.block_bytes))?;
 //! let trace: Vec<_> = bench.executor(&layout, InputId::TEST, 10_000).collect();
 //!
-//! let result = simulate(&machine, SchemeKind::CollapsingBuffer, trace.into_iter());
+//! let result = simulate(&machine, SchemeKind::CollapsingBuffer, trace);
 //! assert!(result.ipc() > 0.5);
 //! # Ok(())
 //! # }
@@ -39,11 +39,13 @@
 pub mod cost;
 pub mod experiments;
 pub mod metrics;
+pub mod runner;
 pub mod scheme;
 pub mod sim;
 pub mod unit;
 
 pub use cost::{all_structures, StructureCost};
+pub use runner::Runner;
 pub use scheme::{ParseSchemeError, SchemeKind};
 pub use sim::{build_fetch_unit, simulate, SimResult};
 pub use unit::{AlignedFetchUnit, BreakdownStats, FetchConfig, FetchStats};

@@ -1,0 +1,178 @@
+//! The parallel experiment runner: expands an experiment grid into
+//! independent jobs and executes them on a scoped worker pool.
+//!
+//! Every experiment driver walks a (workload × scheme × machine × layout)
+//! grid whose cells are independent simulations, so the drivers hand the
+//! expanded grid to [`Runner::run`] and fold the results afterwards. Three
+//! properties make this safe and reproducible:
+//!
+//! * **Determinism** — results come back indexed by job position, so the
+//!   fold sees *exactly* the order a serial loop would have produced, and a
+//!   single simulation is a pure function of its (machine, scheme, trace)
+//!   inputs. Serial and parallel runs are bit-identical.
+//! * **Zero-copy inputs** — jobs borrow the shared [`Lab`](crate::experiments::Lab)
+//!   and its `Arc<[DynInst]>` trace cache; nothing is cloned per job beyond
+//!   a refcount bump.
+//! * **No dependencies** — the pool is `std::thread::scope` + an atomic
+//!   work-stealing index; builds stay hermetic.
+//!
+//! The pool width defaults to [`std::thread::available_parallelism`] and can
+//! be overridden with the `FETCHMECH_THREADS` environment variable (or
+//! explicitly via [`Runner::new`]; `FETCHMECH_THREADS=1` forces serial
+//! execution, which is also the automatic fallback for tiny grids).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable overriding the worker-pool width.
+pub const THREADS_ENV: &str = "FETCHMECH_THREADS";
+
+/// A fixed-width worker pool for embarrassingly parallel experiment grids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Runner {
+    threads: usize,
+}
+
+impl Runner {
+    /// A runner with an explicit worker count (clamped to at least 1).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A runner sized from the environment: `FETCHMECH_THREADS` if set to a
+    /// positive integer, otherwise [`std::thread::available_parallelism`].
+    #[must_use]
+    pub fn from_env() -> Self {
+        let threads = std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            });
+        Self::new(threads)
+    }
+
+    /// The configured worker count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f` over every job and returns the results **in job order**,
+    /// regardless of which worker finished which job when.
+    ///
+    /// Jobs are distributed dynamically (an atomic next-job index), so a grid
+    /// with wildly uneven cell costs — a P112 collapsing-buffer simulation
+    /// next to a static layout measurement — still load-balances. With one
+    /// worker, or fewer than two jobs, no threads are spawned at all and the
+    /// jobs run on the caller's stack.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any job (the scope unwinds after all workers
+    /// stop picking up new work).
+    pub fn run<J, R, F>(&self, jobs: &[J], f: F) -> Vec<R>
+    where
+        J: Sync,
+        R: Send,
+        F: Fn(&J) -> R + Sync,
+    {
+        let workers = self.threads.min(jobs.len());
+        if workers <= 1 {
+            return jobs.iter().map(f).collect();
+        }
+
+        // One slot per job; each slot is written exactly once, by whichever
+        // worker claimed that index.
+        let slots: Vec<Mutex<Option<R>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(job) = jobs.get(i) else { break };
+                        let result = f(job);
+                        *slots[i].lock().expect("result slot poisoned") = Some(result);
+                    })
+                })
+                .collect();
+            // Join explicitly so a job panic resurfaces with its original
+            // payload (an unjoined scoped-thread panic would be replaced by
+            // the scope's generic one).
+            for handle in handles {
+                if let Err(payload) = handle.join() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every job index was claimed by a worker")
+            })
+            .collect()
+    }
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_job_order() {
+        let jobs: Vec<usize> = (0..100).collect();
+        for threads in [1, 2, 4, 7] {
+            let out = Runner::new(threads).run(&jobs, |&j| j * j);
+            assert_eq!(out, jobs.iter().map(|j| j * j).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn uneven_jobs_all_complete() {
+        let jobs: Vec<u64> = (0..40).collect();
+        let out = Runner::new(4).run(&jobs, |&j| {
+            if j % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            j + 1
+        });
+        assert_eq!(out.len(), 40);
+        assert!(out.iter().zip(&jobs).all(|(r, j)| *r == j + 1));
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        assert_eq!(Runner::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn empty_grid_is_fine() {
+        let out: Vec<u32> = Runner::new(8).run(&[], |_: &u32| unreachable!());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "job 3 exploded")]
+    fn worker_panics_propagate() {
+        let jobs: Vec<usize> = (0..8).collect();
+        Runner::new(4).run(&jobs, |&j| {
+            assert!(j != 3, "job 3 exploded");
+            j
+        });
+    }
+}

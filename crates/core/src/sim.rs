@@ -11,14 +11,17 @@ use std::collections::VecDeque;
 
 use fetchmech_bpred::{Btb, BtbStats};
 use fetchmech_cache::{CacheStats, ICache};
-use fetchmech_isa::{DynInst, OpClass};
+use fetchmech_isa::OpClass;
 use fetchmech_pipeline::{FetchUnit, FetchedInst, MachineModel, OooCore, TraceCursor};
 
 use crate::scheme::SchemeKind;
 use crate::unit::{AlignedFetchUnit, FetchConfig, FetchStats};
 
 /// Result of one simulation run.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field, which is how the parallel-runner tests
+/// assert bit-identical serial/parallel execution.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimResult {
     /// Scheme simulated.
     pub scheme: SchemeKind,
@@ -63,11 +66,16 @@ impl SimResult {
 }
 
 /// Builds the fetch unit for `machine` running `scheme` over `trace`.
+///
+/// The trace is *borrowed, not moved*: any `Into<TraceCursor>` works — an
+/// owned `Vec<DynInst>`, a `&Arc<[DynInst]>` straight out of the
+/// [`Lab`](crate::experiments::Lab) trace cache (a refcount bump, no copy),
+/// or an existing cursor.
 #[must_use]
 pub fn build_fetch_unit(
     machine: &MachineModel,
     scheme: SchemeKind,
-    trace: impl Iterator<Item = DynInst> + 'static,
+    trace: impl Into<TraceCursor>,
 ) -> AlignedFetchUnit {
     let cfg = FetchConfig {
         scheme,
@@ -81,7 +89,7 @@ pub fn build_fetch_unit(
     };
     let icache = ICache::new(machine.cache_config(scheme.banks().max(2)));
     let btb = Btb::new(machine.btb_config());
-    AlignedFetchUnit::new(cfg, icache, btb, TraceCursor::new(trace))
+    AlignedFetchUnit::new(cfg, icache, btb, trace.into())
 }
 
 /// Runs `trace` through `machine` with the given fetch `scheme` until every
@@ -96,7 +104,7 @@ pub fn build_fetch_unit(
 pub fn simulate(
     machine: &MachineModel,
     scheme: SchemeKind,
-    trace: impl Iterator<Item = DynInst> + 'static,
+    trace: impl Into<TraceCursor>,
 ) -> SimResult {
     let mut fetch = build_fetch_unit(machine, scheme, trace);
     let mut core = OooCore::new(machine.ooo_config());
@@ -197,7 +205,7 @@ pub fn simulate(
 }
 
 /// Result of a fetch-only EIR measurement (see [`measure_eir`]).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EirResult {
     /// Scheme measured.
     pub scheme: SchemeKind,
@@ -234,7 +242,7 @@ impl EirResult {
 pub fn measure_eir(
     machine: &MachineModel,
     scheme: SchemeKind,
-    trace: impl Iterator<Item = DynInst> + 'static,
+    trace: impl Into<TraceCursor>,
 ) -> EirResult {
     let mut fetch = build_fetch_unit(machine, scheme, trace);
     let mut cycle: u64 = 0;
@@ -271,9 +279,9 @@ mod tests {
         let layout =
             Layout::natural(&w.program, LayoutOptions::new(machine.block_bytes)).expect("layout");
         // The executor borrows the workload, so collect the trace (tests use
-        // short traces; experiment drivers stream instead).
+        // short traces; experiment drivers share cached `Arc` traces instead).
         let trace: Vec<_> = w.executor(&layout, InputId::TEST, n).collect();
-        simulate(machine, scheme, trace.into_iter())
+        simulate(machine, scheme, trace)
     }
 
     #[test]

@@ -639,7 +639,7 @@ mod tests {
         };
         let icache = ICache::new(CacheConfig::new(32 * 1024, BS, 2));
         let btb = Btb::new(BtbConfig::for_block_bytes(BS));
-        AlignedFetchUnit::new(cfg, icache, btb, TraceCursor::new(trace.into_iter()))
+        AlignedFetchUnit::new(cfg, icache, btb, TraceCursor::new(trace))
     }
 
     fn alu(addr: u64) -> DynInst {
@@ -1024,7 +1024,7 @@ mod predictor_tests {
         };
         let icache = ICache::new(CacheConfig::new(32 * 1024, BS, 2));
         let btb = Btb::new(BtbConfig::for_block_bytes(BS));
-        AlignedFetchUnit::new(cfg, icache, btb, TraceCursor::new(trace.into_iter()))
+        AlignedFetchUnit::new(cfg, icache, btb, TraceCursor::new(trace))
     }
 
     fn br(addr: u64, taken: bool, target: u64) -> DynInst {

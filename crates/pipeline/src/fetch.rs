@@ -9,8 +9,6 @@
 //! reports resolution (the paper's footnote 1: total penalty = fetch redirect
 //! penalty + cycles until the branch executes).
 
-use std::collections::VecDeque;
-
 use fetchmech_isa::DynInst;
 
 /// One fetched instruction plus its prediction outcome.
@@ -94,10 +92,17 @@ pub trait FetchUnit {
     fn name(&self) -> &'static str;
 }
 
-/// A peekable cursor over a dynamic instruction trace.
+/// A peekable cursor over a shared, immutable dynamic instruction trace.
 ///
 /// Fetch mechanisms look ahead up to one issue-width of instructions to build
 /// a packet, then consume what they delivered.
+///
+/// The trace is held as an `Arc<[DynInst]>`, so many cursors — on the same
+/// thread or across a worker pool — share one materialized trace with no
+/// copying: constructing a cursor from an existing `Arc` is a reference-count
+/// bump, and every peek is a slice index. (The pre-PR-3 implementation boxed
+/// a `dyn Iterator` and buffered into a `VecDeque`, which forced every caller
+/// to hand over an owned trace per run.)
 ///
 /// # Examples
 ///
@@ -105,9 +110,9 @@ pub trait FetchUnit {
 /// use fetchmech_isa::{Addr, DynInst, OpClass};
 /// use fetchmech_pipeline::TraceCursor;
 ///
-/// let insts = (0..4).map(|i| {
-///     DynInst::simple(Addr::from_word_index(i), OpClass::IntAlu, None, [None, None])
-/// });
+/// let insts: Vec<_> = (0..4)
+///     .map(|i| DynInst::simple(Addr::from_word_index(i), OpClass::IntAlu, None, [None, None]))
+///     .collect();
 /// let mut cur = TraceCursor::new(insts);
 /// assert_eq!(cur.peek(2).unwrap().addr, Addr::from_word_index(2));
 /// cur.consume(3);
@@ -115,36 +120,37 @@ pub trait FetchUnit {
 /// cur.consume(1);
 /// assert!(cur.is_done());
 /// ```
+#[derive(Clone)]
 pub struct TraceCursor {
-    iter: Box<dyn Iterator<Item = DynInst>>,
-    buf: VecDeque<DynInst>,
+    trace: std::sync::Arc<[DynInst]>,
+    pos: usize,
 }
 
 impl std::fmt::Debug for TraceCursor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TraceCursor")
-            .field("buffered", &self.buf.len())
+            .field("len", &self.trace.len())
+            .field("pos", &self.pos)
             .finish()
     }
 }
 
 impl TraceCursor {
-    /// Wraps a dynamic-instruction iterator.
-    pub fn new(iter: impl Iterator<Item = DynInst> + 'static) -> Self {
+    /// Wraps a trace. Accepts anything convertible to an `Arc<[DynInst]>`:
+    /// an owned `Vec`, a borrowed slice (copied once), or an existing shared
+    /// `Arc` (zero-copy).
+    pub fn new(trace: impl Into<std::sync::Arc<[DynInst]>>) -> Self {
         Self {
-            iter: Box::new(iter),
-            buf: VecDeque::new(),
+            trace: trace.into(),
+            pos: 0,
         }
     }
 
     /// Returns the instruction `offset` positions ahead of the cursor, if the
     /// trace extends that far.
-    pub fn peek(&mut self, offset: usize) -> Option<&DynInst> {
-        while self.buf.len() <= offset {
-            let next = self.iter.next()?;
-            self.buf.push_back(next);
-        }
-        self.buf.get(offset)
+    #[must_use]
+    pub fn peek(&self, offset: usize) -> Option<&DynInst> {
+        self.trace.get(self.pos + offset)
     }
 
     /// Advances the cursor by `n` instructions.
@@ -153,16 +159,59 @@ impl TraceCursor {
     ///
     /// Panics if fewer than `n` instructions remain.
     pub fn consume(&mut self, n: usize) {
-        for _ in 0..n {
-            if self.buf.pop_front().is_none() {
-                assert!(self.iter.next().is_some(), "consumed past end of trace");
-            }
-        }
+        assert!(
+            self.pos + n <= self.trace.len(),
+            "consumed past end of trace"
+        );
+        self.pos += n;
     }
 
     /// Returns `true` when the trace is exhausted.
-    pub fn is_done(&mut self) -> bool {
-        self.peek(0).is_none()
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.pos >= self.trace.len()
+    }
+
+    /// Instructions not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.trace.len() - self.pos
+    }
+
+    /// A zero-copy handle to the underlying shared trace.
+    #[must_use]
+    pub fn shared(&self) -> std::sync::Arc<[DynInst]> {
+        std::sync::Arc::clone(&self.trace)
+    }
+}
+
+impl From<Vec<DynInst>> for TraceCursor {
+    fn from(trace: Vec<DynInst>) -> Self {
+        Self::new(trace)
+    }
+}
+
+impl From<std::sync::Arc<[DynInst]>> for TraceCursor {
+    fn from(trace: std::sync::Arc<[DynInst]>) -> Self {
+        Self::new(trace)
+    }
+}
+
+impl From<&std::sync::Arc<[DynInst]>> for TraceCursor {
+    fn from(trace: &std::sync::Arc<[DynInst]>) -> Self {
+        Self::new(std::sync::Arc::clone(trace))
+    }
+}
+
+impl From<&[DynInst]> for TraceCursor {
+    fn from(trace: &[DynInst]) -> Self {
+        Self::new(trace)
+    }
+}
+
+impl FromIterator<DynInst> for TraceCursor {
+    fn from_iter<I: IntoIterator<Item = DynInst>>(iter: I) -> Self {
+        Self::new(iter.into_iter().collect::<Vec<_>>())
     }
 }
 
@@ -171,20 +220,22 @@ mod tests {
     use super::*;
     use fetchmech_isa::{Addr, OpClass};
 
-    fn seq(n: u64) -> impl Iterator<Item = DynInst> {
-        (0..n).map(|i| {
-            DynInst::simple(
-                Addr::from_word_index(i),
-                OpClass::IntAlu,
-                None,
-                [None, None],
-            )
-        })
+    fn seq(n: u64) -> Vec<DynInst> {
+        (0..n)
+            .map(|i| {
+                DynInst::simple(
+                    Addr::from_word_index(i),
+                    OpClass::IntAlu,
+                    None,
+                    [None, None],
+                )
+            })
+            .collect()
     }
 
     #[test]
     fn peek_does_not_consume() {
-        let mut c = TraceCursor::new(seq(5));
+        let c = TraceCursor::new(seq(5));
         assert_eq!(c.peek(0).unwrap().addr, Addr::from_word_index(0));
         assert_eq!(c.peek(0).unwrap().addr, Addr::from_word_index(0));
         assert_eq!(c.peek(4).unwrap().addr, Addr::from_word_index(4));
@@ -205,6 +256,16 @@ mod tests {
     fn overconsume_panics() {
         let mut c = TraceCursor::new(seq(2));
         c.consume(3);
+    }
+
+    #[test]
+    fn cursors_share_one_trace_allocation() {
+        let trace: std::sync::Arc<[DynInst]> = seq(8).into();
+        let a = TraceCursor::new(std::sync::Arc::clone(&trace));
+        let b = TraceCursor::from(&trace);
+        assert!(std::sync::Arc::ptr_eq(&a.shared(), &b.shared()));
+        assert_eq!(a.remaining(), 8);
+        assert_eq!(b.remaining(), 8);
     }
 
     #[test]

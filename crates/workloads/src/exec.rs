@@ -243,6 +243,14 @@ impl Iterator for Executor<'_> {
         self.emitted += 1;
         Some(dyn_inst)
     }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        // Generated programs cycle forever via halt-restart, so in practice
+        // exactly `limit` instructions are emitted; the lower bound is still 0
+        // because a hand-built layout may walk off the end of its code.
+        let remaining = usize::try_from(self.limit.saturating_sub(self.emitted)).unwrap_or(0);
+        (0, Some(remaining))
+    }
 }
 
 impl Workload {
@@ -285,6 +293,20 @@ mod tests {
         let b: Vec<_> = w.executor(&l, InputId::TEST, 2000).collect();
         assert_eq!(a, b);
         assert_eq!(a.len(), 2000);
+    }
+
+    #[test]
+    fn size_hint_tracks_the_limit() {
+        let w = workload();
+        let l = Layout::natural(&w.program, LayoutOptions::new(16)).expect("layout");
+        let mut e = w.executor(&l, InputId::TEST, 100);
+        assert_eq!(e.size_hint(), (0, Some(100)));
+        e.next().expect("first instruction");
+        assert_eq!(e.size_hint(), (0, Some(99)));
+        // A collect sees the upper bound, so pre-sizing via
+        // `Vec::with_capacity` at the call site never reallocates.
+        let rest: Vec<_> = e.collect();
+        assert_eq!(rest.len(), 99);
     }
 
     #[test]

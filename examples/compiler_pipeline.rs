@@ -58,13 +58,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for scheme in SchemeKind::ALL {
         let before = {
             let trace: Vec<_> = bench.executor(&natural, InputId::TEST, 200_000).collect();
-            simulate(&machine, scheme, trace.into_iter()).ipc()
+            simulate(&machine, scheme, trace).ipc()
         };
         let after = {
             let trace: Vec<_> = reordered_bench
                 .executor(&optimized, InputId::TEST, 200_000)
                 .collect();
-            simulate(&machine, scheme, trace.into_iter()).ipc()
+            simulate(&machine, scheme, trace).ipc()
         };
         println!(
             "{:<14} {:>10.3} {:>10.3} {:>7.1}%",

@@ -78,7 +78,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             100_000,
         )
         .collect();
-        let r = simulate(&machine, scheme, trace.into_iter());
+        let r = simulate(&machine, scheme, trace);
         println!(
             "{:<14} {:>6.3} {:>6.3} {:>10}",
             scheme.name(),

@@ -16,7 +16,7 @@ fn run(machine: &MachineModel, scheme: SchemeKind) -> f64 {
     let layout =
         Layout::natural(&bench.program, LayoutOptions::new(machine.block_bytes)).expect("layout");
     let trace: Vec<_> = bench.executor(&layout, InputId::TEST, 120_000).collect();
-    simulate(machine, scheme, trace.into_iter()).ipc()
+    simulate(machine, scheme, trace).ipc()
 }
 
 fn main() {

@@ -97,7 +97,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             4_000,
         )
         .collect();
-        let mut unit = build_fetch_unit(&machine, scheme, trace.into_iter());
+        let mut unit = build_fetch_unit(&machine, scheme, trace);
         // Warm the caches and predictor on the first ~2000 instructions.
         let mut cycle = 0u64;
         let mut consumed = 0usize;

@@ -33,7 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for scheme in SchemeKind::ALL {
         let trace: Vec<_> = bench.executor(&layout, InputId::TEST, 200_000).collect();
-        let r = simulate(&machine, scheme, trace.into_iter());
+        let r = simulate(&machine, scheme, trace);
         println!(
             "{:<14} {:>6.3} {:>6.3} {:>10} {:>11.1}%",
             scheme.name(),

@@ -1,0 +1,77 @@
+//! Timing smoke test for the parallel experiment runner: runs one reduced
+//! (machine × scheme × benchmark) grid twice — serial, then with the
+//! environment-configured worker pool — checks the results are identical,
+//! and writes the wall-clock numbers plus trace-cache counters to
+//! `BENCH_PR3.json` for CI to archive.
+//!
+//! ```text
+//! cargo run --release --example runner_bench
+//! ```
+
+use std::time::Instant;
+
+use fetchmech::experiments::{ExpConfig, Lab, LayoutVariant};
+use fetchmech::pipeline::MachineModel;
+use fetchmech::workloads::WorkloadClass;
+use fetchmech::{SchemeKind, SimResult};
+
+fn grid(lab: &Lab) -> Vec<(MachineModel, SchemeKind, &'static str)> {
+    let mut jobs = Vec::new();
+    for machine in [MachineModel::p14(), MachineModel::p112()] {
+        for scheme in SchemeKind::ALL {
+            for bench in lab.class_names(WorkloadClass::Int) {
+                jobs.push((machine.clone(), scheme, bench));
+            }
+        }
+    }
+    jobs
+}
+
+fn run_grid(lab: &Lab) -> Vec<SimResult> {
+    let jobs = grid(lab);
+    lab.runner().run(&jobs, |(machine, scheme, bench)| {
+        lab.run(machine, *scheme, bench, LayoutVariant::Natural)
+    })
+}
+
+fn main() {
+    let cfg = ExpConfig {
+        trace_len: 20_000,
+        profile_len: 8_000,
+    };
+
+    // Fresh lab per timing so each pays its own trace generations — the
+    // comparison is end-to-end (generate + simulate), not simulate-only.
+    let serial_lab = Lab::with_threads(cfg, 1);
+    let start = Instant::now();
+    let serial_results = run_grid(&serial_lab);
+    let serial_secs = start.elapsed().as_secs_f64();
+
+    let parallel_lab = Lab::new(cfg);
+    let threads = parallel_lab.runner().threads();
+    let start = Instant::now();
+    let parallel_results = run_grid(&parallel_lab);
+    let parallel_secs = start.elapsed().as_secs_f64();
+
+    assert_eq!(
+        serial_results, parallel_results,
+        "serial and parallel runs must be bit-identical"
+    );
+
+    let stats = parallel_lab.cache_stats();
+    let jobs = serial_results.len();
+    let speedup = serial_secs / parallel_secs;
+    let json = format!(
+        "{{\n  \"grid_jobs\": {jobs},\n  \"serial_secs\": {serial_secs:.3},\n  \
+         \"parallel_secs\": {parallel_secs:.3},\n  \"threads\": {threads},\n  \
+         \"speedup\": {speedup:.3},\n  \"trace_generations\": {},\n  \
+         \"trace_hits\": {}\n}}\n",
+        stats.trace_generations, stats.trace_hits
+    );
+    std::fs::write("BENCH_PR3.json", &json).expect("write BENCH_PR3.json");
+    println!("{json}");
+    eprintln!(
+        "runner_bench: {jobs} jobs, serial {serial_secs:.2}s, \
+         parallel {parallel_secs:.2}s on {threads} threads ({speedup:.2}x)"
+    );
+}

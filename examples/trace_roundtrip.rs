@@ -35,8 +35,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let reloaded = read_trace(std::fs::File::open(&path)?)?;
     assert_eq!(reloaded, trace, "the snapshot must replay identically");
 
-    let live = simulate(&machine, SchemeKind::CollapsingBuffer, trace.into_iter());
-    let replay = simulate(&machine, SchemeKind::CollapsingBuffer, reloaded.into_iter());
+    let live = simulate(&machine, SchemeKind::CollapsingBuffer, trace);
+    let replay = simulate(&machine, SchemeKind::CollapsingBuffer, reloaded);
     assert_eq!(live.cycles, replay.cycles);
     assert_eq!(live.delivered, replay.delivered);
     println!(

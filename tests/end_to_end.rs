@@ -11,7 +11,7 @@ fn run(name: &str, machine: &MachineModel, scheme: SchemeKind, n: u64) -> fetchm
     let layout =
         Layout::natural(&w.program, LayoutOptions::new(machine.block_bytes)).expect("layout");
     let trace: Vec<_> = w.executor(&layout, InputId::TEST, n).collect();
-    simulate(machine, scheme, trace.into_iter())
+    simulate(machine, scheme, trace)
 }
 
 #[test]
@@ -105,7 +105,7 @@ fn mispredicts_match_between_fetch_and_trace() {
         Layout::natural(&w.program, LayoutOptions::new(machine.block_bytes)).expect("layout");
     let trace: Vec<_> = w.executor(&layout, InputId::TEST, 20_000).collect();
     let controls = trace.iter().filter(|i| i.ctrl.is_some()).count() as u64;
-    let r = simulate(&machine, SchemeKind::BankedSequential, trace.into_iter());
+    let r = simulate(&machine, SchemeKind::BankedSequential, trace);
     assert_eq!(r.fetch.predicted_controls, controls);
     assert!(r.fetch.mispredicts <= controls);
     // The BTB must actually learn: a warm 1024-entry BTB on a program this
@@ -126,7 +126,7 @@ fn padding_layouts_simulate_correctly() {
     let trace: Vec<_> = w.executor(&layout, InputId::TEST, 20_000).collect();
     let nops = trace.iter().filter(|i| i.op == OpClass::Nop).count() as u64;
     assert!(nops > 0, "pad-all trace must execute nops");
-    let r = simulate(&machine, SchemeKind::Sequential, trace.into_iter());
+    let r = simulate(&machine, SchemeKind::Sequential, trace);
     // All non-nop instructions retire; nops are dropped at dispatch but
     // still accounted for.
     assert_eq!(r.retired, 20_000);
@@ -145,7 +145,7 @@ fn return_address_stack_fixes_return_mispredicts() {
         let layout =
             Layout::natural(&w.program, LayoutOptions::new(with_ras.block_bytes)).expect("layout");
         let trace: Vec<_> = w.executor(&layout, InputId::TEST, 30_000).collect();
-        simulate(&with_ras, SchemeKind::CollapsingBuffer, trace.into_iter())
+        simulate(&with_ras, SchemeKind::CollapsingBuffer, trace)
     };
     assert!(with.fetch.ras_predictions > 0, "RAS must be exercised");
     assert!(

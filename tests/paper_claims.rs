@@ -14,7 +14,7 @@ fn lab() -> Lab {
 fn claim_better_fetching_is_needed_at_high_issue_rates() {
     // Figure 3: the sequential-vs-perfect gap grows with issue rate for
     // integer code and is smallest for FP on P14.
-    let fig = Fig3::run(&mut lab());
+    let fig = Fig3::run(&lab());
     let int = fig.class_rows(WorkloadClass::Int);
     assert!(int[0].headroom() < int[2].headroom());
     for r in &fig.rows {
@@ -25,7 +25,7 @@ fn claim_better_fetching_is_needed_at_high_issue_rates() {
 #[test]
 fn claim_intra_block_branches_grow_with_block_size() {
     // Table 2: the phenomenon that motivates the collapsing buffer.
-    let t = Table2::run(&mut lab());
+    let t = Table2::run(&lab());
     let grew = t.rows.iter().filter(|r| r.pct[2] > r.pct[0] + 5.0).count();
     assert!(grew >= 10, "only {grew}/15 benchmarks grew substantially");
     // Integer codes dominate at small blocks.
@@ -52,8 +52,8 @@ fn claim_intra_block_branches_grow_with_block_size() {
 #[test]
 fn claim_collapsing_buffer_is_the_most_robust_scheme() {
     // Figure 9 ordering plus Figure 10 scalability in one pass.
-    let mut lab = lab();
-    let fig9 = Fig9::run(&mut lab);
+    let lab = lab();
+    let fig9 = Fig9::run(&lab);
     for r in &fig9.rows {
         let coll = r.ipc_of(SchemeKind::CollapsingBuffer);
         for other in [
@@ -72,7 +72,7 @@ fn claim_collapsing_buffer_is_the_most_robust_scheme() {
             );
         }
     }
-    let fig10 = Fig10::run(&mut lab);
+    let fig10 = Fig10::run(&lab);
     for class in [WorkloadClass::Int, WorkloadClass::Fp] {
         let series = fig10.series(SchemeKind::CollapsingBuffer, class);
         // "consistently aligns instructions in excess of 90% of the time,
@@ -88,7 +88,7 @@ fn claim_collapsing_buffer_is_the_most_robust_scheme() {
 fn claim_sequential_decays_with_issue_rate() {
     // Figure 10: the other schemes decrease in relative efficiency from P14
     // to P112.
-    let fig = Fig10::run(&mut lab());
+    let fig = Fig10::run(&lab());
     for class in [WorkloadClass::Int, WorkloadClass::Fp] {
         let seq = fig.series(SchemeKind::Sequential, class);
         assert!(
@@ -100,8 +100,8 @@ fn claim_sequential_decays_with_issue_rate() {
 
 #[test]
 fn claim_reordering_significantly_enhances_all_schemes() {
-    let mut lab = lab();
-    let fig12 = Fig12::run(&mut lab);
+    let lab = lab();
+    let fig12 = Fig12::run(&lab);
     for r in &fig12.rows {
         assert!(r.reordered_of(SchemeKind::Sequential) > r.sequential_unordered);
         // "when collapsing buffer is used with reordering, it nearly matches
@@ -111,7 +111,7 @@ fn claim_reordering_significantly_enhances_all_schemes() {
                 > 0.88 * r.reordered_of(SchemeKind::Perfect)
         );
     }
-    let t3 = Table3::run(&mut lab);
+    let t3 = Table3::run(&lab);
     let mean: f64 = t3.rows.iter().map(|r| r.reduction_pct()).sum::<f64>() / t3.rows.len() as f64;
     assert!(
         mean > 15.0,
@@ -121,7 +121,7 @@ fn claim_reordering_significantly_enhances_all_schemes() {
 
 #[test]
 fn claim_pad_trace_is_a_cheap_refinement_and_pad_all_is_not() {
-    let t4 = Table4::run(&mut lab());
+    let t4 = Table4::run(&lab());
     for r in &t4.rows {
         // "Pad-trace introduces significantly less nops than pad-all."
         for i in 0..3 {

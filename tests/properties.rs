@@ -143,7 +143,7 @@ proptest! {
             .expect("layout");
         for scheme in SchemeKind::ALL {
             let trace: Vec<_> = w.executor(&layout, InputId::TEST, 4_000).collect();
-            let r = simulate(&machine, scheme, trace.into_iter());
+            let r = simulate(&machine, scheme, trace);
             prop_assert_eq!(r.retired, 4_000);
             prop_assert!(r.eir() <= f64::from(machine.issue_rate) + 1e-9);
         }
@@ -192,7 +192,7 @@ proptest! {
             .expect("layout");
         let eir = |scheme| {
             let trace: Vec<_> = w.executor(&layout, InputId::TEST, 12_000).collect();
-            measure_eir(&machine, scheme, trace.into_iter()).eir()
+            measure_eir(&machine, scheme, trace).eir()
         };
         let perfect = eir(SchemeKind::Perfect);
         for scheme in SchemeKind::HARDWARE {
