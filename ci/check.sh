@@ -27,7 +27,10 @@ echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
 echo "==> fetchmech-lint (full suite)"
-cargo run -q -p fetchmech-analysis --bin fetchmech-lint -- --deny-warnings
+cargo run -q -p fetchmech-repro --bin fetchmech-lint -- --deny-warnings
+
+echo "==> fetchmech-lint sanitize (cycle-level invariants, short traces)"
+cargo run -q -p fetchmech-repro --bin fetchmech-lint -- sanitize --short
 
 echo "==> timing smoke: serial vs parallel runner (writes BENCH_PR3.json)"
 cargo run --release -q -p fetchmech-repro --example runner_bench

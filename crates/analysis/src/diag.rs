@@ -42,6 +42,8 @@ pub enum Location {
     Trace(usize),
     /// A dynamic-instruction position in a compared execution trace.
     DynPos(usize),
+    /// A simulated cycle (cycle-level sanitizer findings).
+    Cycle(u64),
 }
 
 impl fmt::Display for Location {
@@ -54,6 +56,7 @@ impl fmt::Display for Location {
             Location::Addr(a) => write!(f, "{a}"),
             Location::Trace(i) => write!(f, "trace#{i}"),
             Location::DynPos(i) => write!(f, "dyn#{i}"),
+            Location::Cycle(c) => write!(f, "cycle#{c}"),
         }
     }
 }

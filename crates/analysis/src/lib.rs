@@ -19,9 +19,14 @@
 //!   ([`transform::TracesPass`], [`transform::TransformPass`],
 //!   [`transform::TraceDiffPass`]),
 //! * debug-build construction hooks ([`install_debug_hooks`]) so every
-//!   artifact built anywhere in the process is verified at its source, and
-//! * the `fetchmech-lint` CLI, which runs the whole registry over any suite
-//!   benchmark.
+//!   artifact built anywhere in the process is verified at its source,
+//! * the cycle-level [`sanitize`] engine ([`CycleSanitizer`]), which audits
+//!   a *running* simulation — packet geometry, issue/squash conservation,
+//!   predictor accounting, and cross-scheme EIR dominance — fed by the
+//!   simulator's `sanitize` feature, and
+//! * the `fetchmech-lint` CLI (hosted in the root `fetchmech-repro` crate so
+//!   it can drive the simulator), which runs the whole registry over any
+//!   suite benchmark.
 //!
 //! # Examples
 //!
@@ -45,6 +50,7 @@ pub mod diag;
 pub mod flow;
 pub mod hooks;
 pub mod registry;
+pub mod sanitize;
 pub mod structural;
 pub mod transform;
 
@@ -53,6 +59,7 @@ pub use diag::{
 };
 pub use hooks::install_debug_hooks;
 pub use registry::{Pass, Registry, Target};
+pub use sanitize::{check_scheme_dominance, CycleSanitizer, FetchEnv, SanitizeConfig};
 
 use fetchmech_compiler::{Profile, Reordered, Trace, TraceSelectConfig};
 use fetchmech_isa::{Layout, Program};

@@ -40,13 +40,19 @@ pub mod cost;
 pub mod experiments;
 pub mod metrics;
 pub mod runner;
-pub mod scheme;
+pub mod sanitize;
 pub mod sim;
 pub mod unit;
 
+/// The five fetch schemes (re-exported from `fetchmech-pipeline`, where the
+/// type lives so the analysis layer can name schemes without depending on
+/// the simulator).
+pub use fetchmech_pipeline::scheme;
+
 pub use cost::{all_structures, StructureCost};
+pub use fetchmech_pipeline::scheme::{ParseSchemeError, SchemeKind};
 pub use runner::Runner;
-pub use scheme::{ParseSchemeError, SchemeKind};
+pub use sanitize::{check_dominance, measure_eir_checked, simulate_checked};
 pub use sim::{build_fetch_unit, simulate, SimResult};
 pub use unit::{AlignedFetchUnit, BreakdownStats, FetchConfig, FetchStats};
 

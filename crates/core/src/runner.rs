@@ -44,17 +44,17 @@ impl Runner {
 
     /// A runner sized from the environment: `FETCHMECH_THREADS` if set to a
     /// positive integer, otherwise [`std::thread::available_parallelism`].
+    ///
+    /// A value that is set but unusable — `0`, empty, or unparseable — falls
+    /// back to the hardware width *with a one-line warning on stderr*, so a
+    /// typo in a job script degrades loudly instead of silently.
     #[must_use]
     pub fn from_env() -> Self {
-        let threads = std::env::var(THREADS_ENV)
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(std::num::NonZeroUsize::get)
-                    .unwrap_or(1)
-            });
+        let var = std::env::var(THREADS_ENV).ok();
+        let (threads, warning) = resolve_threads(var.as_deref(), default_parallelism());
+        if let Some(msg) = warning {
+            eprintln!("warning: {msg}");
+        }
         Self::new(threads)
     }
 
@@ -129,6 +129,37 @@ impl Default for Runner {
     }
 }
 
+/// The hardware fallback width: [`std::thread::available_parallelism`],
+/// or 1 where the platform cannot report it.
+fn default_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Resolves a raw `FETCHMECH_THREADS` value to a worker count, plus a
+/// warning message when the value was set but unusable.
+///
+/// Pure so the policy is unit-testable without touching process-global
+/// environment state: `None` (unset) silently yields `fallback`; a positive
+/// integer wins; anything else — `0`, empty, garbage — yields `fallback`
+/// with a warning describing the bad value.
+fn resolve_threads(var: Option<&str>, fallback: usize) -> (usize, Option<String>) {
+    let Some(raw) = var else {
+        return (fallback, None);
+    };
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n > 0 => (n, None),
+        _ => (
+            fallback,
+            Some(format!(
+                "{THREADS_ENV}={raw:?} is not a positive integer; \
+                 using {fallback} worker thread(s)"
+            )),
+        ),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,6 +189,22 @@ mod tests {
     #[test]
     fn zero_threads_clamps_to_one() {
         assert_eq!(Runner::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn env_resolution_warns_on_unusable_values() {
+        // Unset: hardware fallback, no warning.
+        assert_eq!(resolve_threads(None, 6), (6, None));
+        // Positive integer (whitespace tolerated): taken verbatim, silent.
+        assert_eq!(resolve_threads(Some("3"), 6), (3, None));
+        assert_eq!(resolve_threads(Some(" 12 "), 6), (12, None));
+        // Set but unusable: fallback plus a warning naming the bad value.
+        for bad in ["0", "", "  ", "-2", "four", "2.5"] {
+            let (threads, warning) = resolve_threads(Some(bad), 6);
+            assert_eq!(threads, 6, "fallback for {bad:?}");
+            let msg = warning.expect("unusable value must warn");
+            assert!(msg.contains(THREADS_ENV) && msg.contains("6"), "{msg}");
+        }
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use std::collections::VecDeque;
 
+use fetchmech_analysis::CycleSanitizer;
 use fetchmech_bpred::{Btb, BtbStats};
 use fetchmech_cache::{CacheStats, ICache};
 use fetchmech_isa::OpClass;
@@ -106,6 +107,26 @@ pub fn simulate(
     scheme: SchemeKind,
     trace: impl Into<TraceCursor>,
 ) -> SimResult {
+    if crate::sanitize::ENABLED {
+        let (result, diags) = crate::sanitize::simulate_checked(machine, scheme, trace);
+        crate::sanitize::assert_clean(&format!("simulate({scheme}, {})", machine.name), &diags);
+        return result;
+    }
+    simulate_observed(machine, scheme, trace.into(), None)
+}
+
+/// [`simulate`] with an optional sanitizer observing every pipeline event.
+///
+/// The `san` parameter is how the sanitizer stays zero-cost when off: the
+/// observation sites are `if let Some(..)` on this option, and the two
+/// public entry points pass a compile-time-known `None` unless
+/// [`crate::sanitize::ENABLED`] holds.
+pub(crate) fn simulate_observed(
+    machine: &MachineModel,
+    scheme: SchemeKind,
+    trace: TraceCursor,
+    mut san: Option<&mut CycleSanitizer>,
+) -> SimResult {
     let mut fetch = build_fetch_unit(machine, scheme, trace);
     let mut core = OooCore::new(machine.ooo_config());
     let mut queue: VecDeque<FetchedInst> = VecDeque::new();
@@ -125,6 +146,9 @@ pub fn simulate(
             if Some(r.seq) == watched {
                 debug_assert!(r.mispredicted);
                 fetch.on_mispredict_resolved(cycle);
+                if let Some(s) = san.as_deref_mut() {
+                    s.observe_resolved(cycle);
+                }
                 watched = None;
             }
         }
@@ -139,7 +163,10 @@ pub fn simulate(
         let mut dispatched = 0;
         while dispatched < machine.issue_rate && !queue.is_empty() {
             if queue.front().expect("nonempty queue").inst.op == OpClass::Nop {
-                queue.pop_front();
+                let fi = queue.pop_front().expect("nonempty queue");
+                if let Some(s) = san.as_deref_mut() {
+                    s.observe_squash(cycle, &fi);
+                }
                 dispatched += 1;
                 continue;
             }
@@ -151,6 +178,9 @@ pub fn simulate(
                 queued_conds -= 1;
             }
             let seq = core.dispatch(&fi);
+            if let Some(s) = san.as_deref_mut() {
+                s.observe_issue(cycle, &fi);
+            }
             if fi.mispredicted {
                 queued_mispredict = false;
                 watched = Some(seq);
@@ -160,11 +190,17 @@ pub fn simulate(
         if !queue.is_empty() && dispatched == 0 {
             core.note_window_full();
         }
+        if let Some(s) = san.as_deref_mut() {
+            s.observe_core_state(cycle, core.audit_invariants());
+        }
 
         // 4. Fetch into the (single-packet) decode queue.
         if queue.is_empty() && !queued_mispredict {
             let unresolved = core.unresolved_cond() + queued_conds;
             let packet = fetch.cycle(cycle, unresolved);
+            if let Some(s) = san.as_deref_mut() {
+                s.observe_packet(cycle, unresolved, &packet, &fetch.btb().stats());
+            }
             queued_mispredict = packet.ends_mispredicted();
             for fi in packet.insts {
                 if fi.inst.op == OpClass::CondBranch {
@@ -187,6 +223,10 @@ pub fn simulate(
             cycle,
             fetch.delivered()
         );
+    }
+
+    if let Some(s) = san {
+        s.finish(cycle, fetch.delivered());
     }
 
     // Nops never dispatch, so everything the core retired is useful work.
@@ -244,12 +284,34 @@ pub fn measure_eir(
     scheme: SchemeKind,
     trace: impl Into<TraceCursor>,
 ) -> EirResult {
+    if crate::sanitize::ENABLED {
+        let (result, diags) = crate::sanitize::measure_eir_checked(machine, scheme, trace);
+        crate::sanitize::assert_clean(&format!("measure_eir({scheme}, {})", machine.name), &diags);
+        return result;
+    }
+    measure_eir_observed(machine, scheme, trace.into(), None)
+}
+
+/// [`measure_eir`] with an optional sanitizer observing every fetch cycle
+/// (see [`simulate_observed`] for the gating pattern).
+pub(crate) fn measure_eir_observed(
+    machine: &MachineModel,
+    scheme: SchemeKind,
+    trace: TraceCursor,
+    mut san: Option<&mut CycleSanitizer>,
+) -> EirResult {
     let mut fetch = build_fetch_unit(machine, scheme, trace);
     let mut cycle: u64 = 0;
     loop {
         let packet = fetch.cycle(cycle, 0);
+        if let Some(s) = san.as_deref_mut() {
+            s.observe_packet(cycle, 0, &packet, &fetch.btb().stats());
+        }
         if packet.ends_mispredicted() {
             fetch.on_mispredict_resolved(cycle + 1);
+            if let Some(s) = san.as_deref_mut() {
+                s.observe_resolved(cycle + 1);
+            }
         }
         cycle += 1;
         if fetch.done() {
@@ -259,6 +321,9 @@ pub fn measure_eir(
             cycle <= 1_000_000 + 64 * fetch.delivered().max(100_000),
             "EIR measurement runaway"
         );
+    }
+    if let Some(s) = san {
+        s.finish(cycle, fetch.delivered());
     }
     EirResult {
         scheme,

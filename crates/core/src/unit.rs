@@ -394,10 +394,17 @@ impl FetchUnit for AlignedFetchUnit {
         // Second readable block, per scheme.
         if scheme == SchemeKind::Perfect {
             // Unlimited-bandwidth front end: prefetch the next sequential
-            // block (fill only), like the banked schemes do, so the upper
-            // bound is never penalized for lacking a prefetcher.
+            // block *and* the BTB-predicted successor block (fill only),
+            // matching the banked schemes' prefetching, so the upper bound
+            // is never penalized for lacking a prefetcher. Without the
+            // successor prefetch, collapsing can beat perfect on cold
+            // caches by warming branch targets a cycle early.
             let next = fetch_block.add_words(bs / fetchmech_isa::WORD_BYTES);
             let _ = self.icache.access(next);
+            let succ = self.predicted_successor(fetch_block);
+            if succ != fetch_block && succ != next {
+                let _ = self.icache.access(succ);
+            }
         }
         let second = match scheme {
             SchemeKind::Sequential | SchemeKind::Perfect => None,
@@ -464,6 +471,15 @@ impl FetchUnit for AlignedFetchUnit {
                     if blk != region.fetch_block && Some(blk) != region.second {
                         if self.icache.access(blk).is_hit() {
                             region.second = Some(blk); // remember most recent
+                                                       // Chain the prefetch: a multi-block packet outruns
+                                                       // the packet-start prefetches, so each block the
+                                                       // walk enters prefetches its sequential successor
+                                                       // (fill only) — otherwise the *next* cycle's
+                                                       // demand fetch lands on a cold block and perfect
+                                                       // stalls where the one-pair-per-cycle schemes,
+                                                       // whose partner prefetch keeps pace, would not.
+                            let next = blk.add_words(bs / fetchmech_isa::WORD_BYTES);
+                            let _ = self.icache.access(next);
                             true
                         } else {
                             ended = Some(Break::RegionEnd);

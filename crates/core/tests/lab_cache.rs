@@ -1,0 +1,100 @@
+//! Exactness of the [`Lab`] shared-cache counters under thread contention.
+//!
+//! The lab promises every expensive artifact (layout, trace) is computed
+//! *exactly once per process* no matter how many worker threads request it
+//! concurrently, and that repeat requesters share the same allocation. The
+//! counters in [`LabCacheStats`] make that auditable, so this test drives a
+//! known request mix from many threads and asserts the exact hit/miss split —
+//! any double compute or lost hit shifts a counter.
+
+use std::sync::Arc;
+
+use fetchmech::experiments::{ExpConfig, Lab, LabCacheStats, LayoutVariant, TraceKey};
+use fetchmech::isa::DynInst;
+use fetchmech::workloads::InputId;
+
+const THREADS: usize = 8;
+const REPEATS: usize = 4;
+const BLOCK_BYTES: u64 = 64;
+const LIMIT: u64 = 2_000;
+
+fn key(bench: &'static str) -> TraceKey {
+    TraceKey {
+        bench,
+        variant: LayoutVariant::Natural,
+        block_bytes: BLOCK_BYTES,
+        input: InputId::TEST,
+        limit: LIMIT,
+    }
+}
+
+#[test]
+fn cache_counters_are_exact_under_contention() {
+    let lab = Lab::with_threads(ExpConfig::quick(), 1);
+    let (key_a, key_b) = (key("compress"), key("bison"));
+
+    // Every thread hammers the same two trace keys plus one layout key
+    // directly, collecting the Arcs it was handed.
+    let per_thread: Vec<Vec<Arc<[DynInst]>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut got = Vec::with_capacity(REPEATS * 2);
+                    for _ in 0..REPEATS {
+                        got.push(lab.trace(key_a));
+                        got.push(lab.trace(key_b));
+                        let _ = lab.layout(key_a.bench, key_a.variant, key_a.block_bytes);
+                    }
+                    got
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("lab lookup thread panicked"))
+            .collect()
+    });
+
+    // Zero-copy sharing: every thread's every repeat got the *same*
+    // allocation per key, and each trace has the requested length.
+    let first = &per_thread[0];
+    for got in &per_thread {
+        for (i, trace) in got.iter().enumerate() {
+            assert_eq!(trace.len() as u64, LIMIT);
+            assert!(
+                Arc::ptr_eq(trace, &first[i % 2]),
+                "thread returned a distinct allocation for a cached trace"
+            );
+        }
+    }
+
+    // Exact counter accounting for the mix above:
+    // * traces: 8 threads x 4 repeats x 2 keys = 64 lookups, 2 distinct keys
+    //   => exactly 2 generations, 62 hits.
+    // * layouts: the 2 trace generations each build their layout once, plus
+    //   8 x 4 = 32 direct lookups of the compress key (same key the compress
+    //   trace generation used) => 2 builds, 32 hits. Which thread wins the
+    //   build race varies; the totals may not.
+    // * profiles/reorderings: Natural layouts never touch them.
+    let lookups = (THREADS * REPEATS) as u64;
+    assert_eq!(
+        lab.cache_stats(),
+        LabCacheStats {
+            trace_hits: lookups * 2 - 2,
+            trace_generations: 2,
+            layout_hits: lookups,
+            layout_builds: 2,
+            profile_hits: 0,
+            profile_collections: 0,
+            reorder_hits: 0,
+            reorder_builds: 0,
+        }
+    );
+
+    // A second serial pass is pure hits.
+    let again = lab.trace(key_a);
+    assert!(Arc::ptr_eq(&again, &first[0]));
+    let stats = lab.cache_stats();
+    assert_eq!(stats.trace_generations, 2);
+    assert_eq!(stats.trace_hits, lookups * 2 - 1);
+}

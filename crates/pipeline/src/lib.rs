@@ -8,7 +8,10 @@
 //!   fully-pipelined functional units, and a reorder buffer,
 //! * [`FetchUnit`] / [`FetchPacket`] / [`TraceCursor`] — the contract between
 //!   the fetch mechanisms (implemented in the `fetchmech` core crate) and the
-//!   pipeline driver.
+//!   pipeline driver,
+//! * [`SchemeKind`] — the five fetch-alignment mechanisms of §3, hosted here
+//!   (rather than in the core crate) so analysis layers can reason about
+//!   scheme legality without depending on the simulator.
 //!
 //! # Examples
 //!
@@ -27,7 +30,9 @@
 pub mod fetch;
 pub mod machine;
 pub mod ooo;
+pub mod scheme;
 
 pub use fetch::{FetchPacket, FetchUnit, FetchedInst, TraceCursor};
 pub use machine::MachineModel;
 pub use ooo::{OooConfig, OooCore, OooStats, Resolved};
+pub use scheme::{ParseSchemeError, SchemeKind};

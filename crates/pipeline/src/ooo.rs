@@ -266,6 +266,87 @@ impl OooCore {
         self.stats.window_full_cycles += 1;
     }
 
+    /// Audits the core's internal bookkeeping against its ground truth — the
+    /// reorder buffer contents — and returns a description of the first
+    /// inconsistency found.
+    ///
+    /// This is the pipeline-side hook of the `fetchmech-sanitizer` layer:
+    /// the cycle-level sanitizer (see the `fetchmech` core crate) calls it
+    /// once per simulated cycle when sanitizing is enabled. It is `O(ROB)`
+    /// and allocation-free on the success path, and it is *not* gated on a
+    /// feature so callers decide when to pay for it.
+    pub fn audit_invariants(&self) -> Result<(), String> {
+        if self.rob.len() as u32 > self.cfg.rob {
+            return Err(format!(
+                "ROB holds {} entries, capacity {}",
+                self.rob.len(),
+                self.cfg.rob
+            ));
+        }
+        if self.window_used > self.cfg.window {
+            return Err(format!(
+                "window_used {} exceeds window capacity {}",
+                self.window_used, self.cfg.window
+            ));
+        }
+        let in_window = self
+            .rob
+            .iter()
+            .filter(|e| e.state == State::InWindow)
+            .count() as u32;
+        if in_window != self.window_used {
+            return Err(format!(
+                "window_used {} but {} ROB entries are InWindow",
+                self.window_used, in_window
+            ));
+        }
+        let done = self.rob.iter().filter(|e| e.state == State::Done).count();
+        if done != self.completed.len() {
+            return Err(format!(
+                "{done} Done ROB entries but {} completion tags",
+                self.completed.len()
+            ));
+        }
+        let unresolved = self
+            .rob
+            .iter()
+            .filter(|e| e.op == OpClass::CondBranch && e.state != State::Done)
+            .count() as u32;
+        if unresolved != self.unresolved_cond {
+            return Err(format!(
+                "unresolved_cond {} but {} unexecuted conditional branches in flight",
+                self.unresolved_cond, unresolved
+            ));
+        }
+        let mut prev: Option<u64> = None;
+        for e in &self.rob {
+            if e.state == State::Done && !self.completed.contains(&e.seq) {
+                return Err(format!(
+                    "Done entry seq {} missing its completion tag",
+                    e.seq
+                ));
+            }
+            if let Some(p) = prev {
+                if e.seq <= p {
+                    return Err(format!(
+                        "ROB sequence numbers not strictly increasing ({p} then {})",
+                        e.seq
+                    ));
+                }
+            }
+            prev = Some(e.seq);
+        }
+        if self.stats.dispatched != self.stats.retired + self.rob.len() as u64 {
+            return Err(format!(
+                "conservation: dispatched {} != retired {} + in-flight {}",
+                self.stats.dispatched,
+                self.stats.retired,
+                self.rob.len()
+            ));
+        }
+        Ok(())
+    }
+
     /// Number of dispatched conditional branches not yet executed.
     #[must_use]
     pub fn unresolved_cond(&self) -> u32 {
@@ -349,6 +430,7 @@ mod tests {
                 next += 1;
                 dispatched += 1;
             }
+            core.audit_invariants().expect("core invariants hold");
             cycle += 1;
             if next == insts.len() && core.drained() {
                 break;

@@ -1,0 +1,422 @@
+//! `fetchmech-lint`: run the verification passes over suite benchmarks, and
+//! the cycle-level sanitizer over live simulations.
+//!
+//! ```text
+//! fetchmech-lint [OPTIONS] [BENCHMARK...]
+//!
+//!   BENCHMARK           suite benchmark names (default: the full suite)
+//!   --json              emit diagnostics as a JSON array
+//!   --pass NAME         run only the named pass (repeatable)
+//!   --insts N           profiling/diff instruction budget (default 20000)
+//!   --deny-warnings     exit nonzero on warnings too
+//!   --list-passes       print the registered passes and their rules
+//!   --help              print this help
+//!
+//! fetchmech-lint sanitize [OPTIONS] [BENCHMARK...]
+//!
+//!   BENCHMARK           suite benchmark names (default: the full suite)
+//!   --machine NAME      p14 | p18 | p112 (default p14)
+//!   --insts N           dynamic trace length per run (default 20000)
+//!   --short             quick mode for CI: 4000-instruction traces
+//!   --disable RULE      disable one sanitizer rule id (repeatable)
+//!   --json              emit diagnostics as a JSON array
+//!   --list              print the sanitizer rule catalog
+//!   --self-test         feed the engine its built-in corrupted event
+//!                       streams; findings are EXPECTED (exits 1)
+//!   --help              print this help
+//! ```
+//!
+//! The default mode generates each workload, collects a profile, selects
+//! traces, reorders, lays out (natural, reordered, pad-all, pad-trace), and
+//! runs every applicable pass over each artifact — including the dynamic
+//! trace diff. The `sanitize` mode instead executes each workload and runs
+//! the full simulator under the cycle-level sanitizer for every fetch
+//! scheme, then the cross-scheme EIR dominance harness over one shared
+//! trace. Exit status is 1 if any error-severity diagnostic was produced,
+//! 2 on usage errors.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use fetchmech::compiler::{layout_pad_all, reorder, select_traces, Profile, TraceSelectConfig};
+use fetchmech::isa::{DynInst, Layout, LayoutOptions};
+use fetchmech::pipeline::MachineModel;
+use fetchmech::workloads::{suite, InputId};
+use fetchmech::SchemeKind;
+use fetchmech_analysis::sanitize::{self_test, RULES};
+use fetchmech_analysis::{
+    report_human, report_json, Diagnostic, Registry, SanitizeConfig, Severity, Target,
+};
+
+const BLOCK_BYTES: u64 = 16;
+
+struct Options {
+    benchmarks: Vec<String>,
+    json: bool,
+    passes: Vec<String>,
+    insts: u64,
+    deny_warnings: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: fetchmech-lint [--json] [--pass NAME]... [--insts N] \
+     [--deny-warnings] [--list-passes] [BENCHMARK...]"
+}
+
+fn list_passes() {
+    let registry = Registry::with_default_passes();
+    for pass in registry.passes() {
+        println!("{}: {}", pass.name(), pass.description());
+        for rule in pass.rules() {
+            println!("  {rule}");
+        }
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
+    let mut opts = Options {
+        benchmarks: Vec::new(),
+        json: false,
+        passes: Vec::new(),
+        insts: 20_000,
+        deny_warnings: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--list-passes" => {
+                list_passes();
+                return Ok(None);
+            }
+            "--pass" => {
+                let name = it.next().ok_or("--pass needs a pass name")?;
+                opts.passes.push(name.clone());
+            }
+            "--insts" => {
+                let n = it.next().ok_or("--insts needs a count")?;
+                opts.insts = n.parse().map_err(|_| format!("bad --insts value {n}"))?;
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return Ok(None);
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option {other}"));
+            }
+            name => opts.benchmarks.push(name.to_string()),
+        }
+    }
+    if opts.benchmarks.is_empty() {
+        opts.benchmarks = suite::INT_NAMES
+            .iter()
+            .chain(suite::FP_NAMES.iter())
+            .map(ToString::to_string)
+            .collect();
+    }
+    Ok(Some(opts))
+}
+
+fn lint_benchmark(
+    name: &str,
+    opts: &Options,
+    registry: &Registry,
+) -> Result<Vec<Diagnostic>, String> {
+    let w = suite::benchmark(name).ok_or_else(|| format!("unknown benchmark {name}"))?;
+    let profile = Profile::collect(&w, &InputId::PROFILE, opts.insts);
+    let config = TraceSelectConfig::default();
+    let traces = select_traces(&w.program, &profile, &config);
+    let reordered = reorder(&w.program, &profile, &config);
+    let natural = Layout::natural(&w.program, LayoutOptions::new(BLOCK_BYTES))
+        .map_err(|e| format!("{name}: natural layout failed: {e}"))?;
+    let pad_all = layout_pad_all(&w.program, BLOCK_BYTES)
+        .map_err(|e| format!("{name}: pad-all layout failed: {e}"))?;
+    let opt_layout = reordered
+        .layout(BLOCK_BYTES)
+        .map_err(|e| format!("{name}: reordered layout failed: {e}"))?;
+    let pad_trace = reordered
+        .layout_pad_trace(BLOCK_BYTES)
+        .map_err(|e| format!("{name}: pad-trace layout failed: {e}"))?;
+
+    let targets = [
+        Target::Program(&w.program),
+        Target::Layout {
+            program: &w.program,
+            layout: &natural,
+        },
+        Target::Layout {
+            program: &w.program,
+            layout: &pad_all,
+        },
+        Target::Layout {
+            program: &reordered.program,
+            layout: &opt_layout,
+        },
+        Target::Layout {
+            program: &reordered.program,
+            layout: &pad_trace,
+        },
+        Target::Profile {
+            program: &w.program,
+            profile: &profile,
+            config: Some(&config),
+        },
+        Target::Traces {
+            program: &w.program,
+            traces: &traces,
+        },
+        Target::Transform {
+            original: &w.program,
+            reordered: &reordered,
+        },
+        Target::TraceDiff {
+            workload: &w,
+            reordered: &reordered,
+            insts: opts.insts,
+        },
+    ];
+    let keep = |pass: &str| opts.passes.is_empty() || opts.passes.iter().any(|p| p == pass);
+    let mut diags = Vec::new();
+    for target in &targets {
+        diags.extend(registry.run_filtered(target, keep));
+    }
+    Ok(diags)
+}
+
+// ---------------------------------------------------------------------------
+// The `sanitize` subcommand: drive the simulator under the cycle sanitizer.
+// ---------------------------------------------------------------------------
+
+struct SanOptions {
+    benchmarks: Vec<String>,
+    machine: MachineModel,
+    insts: u64,
+    json: bool,
+    disabled: Vec<String>,
+}
+
+impl SanOptions {
+    fn config(&self) -> SanitizeConfig {
+        let mut cfg = SanitizeConfig::new();
+        for rule in &self.disabled {
+            cfg.disable(rule.clone());
+        }
+        cfg
+    }
+
+    fn keeps(&self, rule: &str) -> bool {
+        !self.disabled.iter().any(|d| d == rule)
+    }
+}
+
+fn sanitize_usage() -> &'static str {
+    "usage: fetchmech-lint sanitize [--machine p14|p18|p112] [--insts N] \
+     [--short] [--disable RULE]... [--json] [--list] [--self-test] [BENCHMARK...]"
+}
+
+fn list_sanitize_rules() {
+    for (rule, summary) in RULES {
+        println!("{rule}: {summary}");
+    }
+}
+
+fn parse_sanitize_args(args: &[String]) -> Result<Option<SanOptions>, String> {
+    let mut opts = SanOptions {
+        benchmarks: Vec::new(),
+        machine: MachineModel::p14(),
+        insts: 20_000,
+        json: false,
+        disabled: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--short" => opts.insts = 4_000,
+            "--list" => {
+                list_sanitize_rules();
+                return Ok(None);
+            }
+            "--machine" => {
+                let name = it.next().ok_or("--machine needs a model name")?;
+                opts.machine = match name.as_str() {
+                    "p14" => MachineModel::p14(),
+                    "p18" => MachineModel::p18(),
+                    "p112" => MachineModel::p112(),
+                    other => return Err(format!("unknown machine model {other}")),
+                };
+            }
+            "--insts" => {
+                let n = it.next().ok_or("--insts needs a count")?;
+                opts.insts = n.parse().map_err(|_| format!("bad --insts value {n}"))?;
+            }
+            "--disable" => {
+                let rule = it.next().ok_or("--disable needs a rule id")?;
+                opts.disabled.push(rule.clone());
+            }
+            "--help" | "-h" => {
+                println!("{}", sanitize_usage());
+                return Ok(None);
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option {other}"));
+            }
+            name => opts.benchmarks.push(name.to_string()),
+        }
+    }
+    if opts.benchmarks.is_empty() {
+        opts.benchmarks = suite::INT_NAMES
+            .iter()
+            .chain(suite::FP_NAMES.iter())
+            .map(ToString::to_string)
+            .collect();
+    }
+    Ok(Some(opts))
+}
+
+fn sanitize_benchmark(name: &str, opts: &SanOptions) -> Result<Vec<Diagnostic>, String> {
+    let w = suite::benchmark(name).ok_or_else(|| format!("unknown benchmark {name}"))?;
+    let layout = Layout::natural(&w.program, LayoutOptions::new(opts.machine.block_bytes))
+        .map_err(|e| format!("{name}: natural layout failed: {e}"))?;
+    let trace: Arc<[DynInst]> = w
+        .executor(&layout, InputId::TEST, opts.insts)
+        .collect::<Vec<_>>()
+        .into();
+    let mut diags = Vec::new();
+    // Full pipeline under the sanitizer, once per scheme.
+    for scheme in SchemeKind::ALL {
+        let (_result, d) = fetchmech::sanitize::simulate_checked_with(
+            &opts.machine,
+            scheme,
+            &trace,
+            opts.config(),
+        );
+        diags.extend(d);
+    }
+    // Fetch-only differential harness + cross-scheme dominance, sharing the
+    // same zero-copy trace.
+    let (_eirs, d) = fetchmech::sanitize::check_dominance(&opts.machine, name, &trace);
+    diags.extend(d.into_iter().filter(|d| opts.keeps(d.rule_id)));
+    Ok(diags)
+}
+
+fn sanitize_main(args: &[String]) -> ExitCode {
+    if args.iter().any(|a| a == "--self-test") {
+        // Corrupted-by-construction event streams: findings mean the engine
+        // still catches what it claims to, and the exit status reports them
+        // like any other run (nonzero — the CLI test asserts exactly that).
+        let diags = self_test();
+        print!("{}", report_human(&diags));
+        return if fetchmech_analysis::has_errors(&diags) {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+    let opts = match parse_sanitize_args(args) {
+        Ok(Some(opts)) => opts,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fetchmech-lint: {e}");
+            eprintln!("{}", sanitize_usage());
+            return ExitCode::from(2);
+        }
+    };
+    let known: Vec<&str> = RULES.iter().map(|(rule, _)| *rule).collect();
+    for rule in &opts.disabled {
+        if !known.contains(&rule.as_str()) {
+            eprintln!("fetchmech-lint: unknown sanitizer rule {rule} (see sanitize --list)");
+            return ExitCode::from(2);
+        }
+    }
+    let mut all = Vec::new();
+    let mut failed = false;
+    for name in &opts.benchmarks {
+        match sanitize_benchmark(name, &opts) {
+            Ok(diags) => {
+                if !opts.json {
+                    let errors = diags
+                        .iter()
+                        .filter(|d| d.severity == Severity::Error)
+                        .count();
+                    println!("{name}: {} finding(s), {errors} error(s)", diags.len());
+                    if !diags.is_empty() {
+                        print!("{}", report_human(&diags));
+                    }
+                }
+                all.extend(diags);
+            }
+            Err(e) => {
+                eprintln!("fetchmech-lint: {e}");
+                failed = true;
+            }
+        }
+    }
+    if opts.json {
+        println!("{}", report_json(&all));
+    }
+    if failed || all.iter().any(|d| d.severity == Severity::Error) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("sanitize") {
+        return sanitize_main(&args[1..]);
+    }
+    let opts = match parse_args(&args) {
+        Ok(Some(opts)) => opts,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fetchmech-lint: {e}");
+            eprintln!("{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+
+    let registry = Registry::with_default_passes();
+    for name in &opts.passes {
+        if !registry.passes().iter().any(|p| p.name() == name) {
+            eprintln!("fetchmech-lint: unknown pass {name} (see --list-passes)");
+            return ExitCode::from(2);
+        }
+    }
+    let mut all = Vec::new();
+    let mut failed = false;
+    for name in &opts.benchmarks {
+        match lint_benchmark(name, &opts, &registry) {
+            Ok(diags) => {
+                if !opts.json {
+                    let errors = diags
+                        .iter()
+                        .filter(|d| d.severity == Severity::Error)
+                        .count();
+                    println!("{name}: {} finding(s), {errors} error(s)", diags.len());
+                    if !diags.is_empty() {
+                        print!("{}", report_human(&diags));
+                    }
+                }
+                all.extend(diags);
+            }
+            Err(e) => {
+                eprintln!("fetchmech-lint: {e}");
+                failed = true;
+            }
+        }
+    }
+    if opts.json {
+        println!("{}", report_json(&all));
+    }
+    let bad = all.iter().any(|d| {
+        d.severity == Severity::Error || (opts.deny_warnings && d.severity == Severity::Warning)
+    });
+    if failed || bad {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,80 @@
+//! Exit-code contract of the `fetchmech-lint` binary.
+//!
+//! CI keys off these statuses (see `ci/check.sh`): 0 = clean, 1 = at least
+//! one error-severity diagnostic (or a benchmark that failed to build),
+//! 2 = usage error. The sanitize self-test runs corrupted-by-construction
+//! event streams, so it must exit 1 *with* the expected rule ids on stdout —
+//! that is the test proving the engine and the exit plumbing both work.
+
+use std::process::{Command, Output};
+
+use fetchmech_analysis::sanitize::RULES;
+
+fn lint(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_fetchmech-lint"))
+        .args(args)
+        .output()
+        .expect("failed to spawn fetchmech-lint")
+}
+
+fn exit_code(out: &Output) -> i32 {
+    out.status.code().expect("lint terminated by signal")
+}
+
+#[test]
+fn sanitize_self_test_exits_nonzero_with_expected_rules() {
+    let out = lint(&["sanitize", "--self-test"]);
+    assert_eq!(exit_code(&out), 1, "injected corruption must fail the run");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for rule in [
+        "sanitize.fetch.sequential-boundary",
+        "sanitize.fetch.bank-conflict",
+        "sanitize.conservation.packet-width",
+        "sanitize.predictor.update-accounting",
+    ] {
+        assert!(stdout.contains(rule), "missing {rule} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn sanitize_clean_benchmark_exits_zero() {
+    let out = lint(&["sanitize", "--short", "compress"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(exit_code(&out), 0, "stdout:\n{stdout}\nstderr:\n{stderr}");
+    assert!(
+        stdout.contains("compress: 0 finding(s), 0 error(s)"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn sanitize_list_prints_the_full_rule_catalog() {
+    let out = lint(&["sanitize", "--list"]);
+    assert_eq!(exit_code(&out), 0);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for (rule, _) in RULES {
+        assert!(stdout.contains(rule), "missing {rule} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    // Unknown sanitizer rule id.
+    let out = lint(&["sanitize", "--disable", "no.such.rule", "compress"]);
+    assert_eq!(exit_code(&out), 2);
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no.such.rule"));
+    // Unknown option in the default lint mode.
+    let out = lint(&["--bogus-flag"]);
+    assert_eq!(exit_code(&out), 2);
+    // Unknown pass name.
+    let out = lint(&["--pass", "no-such-pass", "compress"]);
+    assert_eq!(exit_code(&out), 2);
+}
+
+#[test]
+fn unknown_benchmark_exits_one() {
+    let out = lint(&["sanitize", "--short", "no-such-benchmark"]);
+    assert_eq!(exit_code(&out), 1);
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown benchmark"));
+}
