@@ -35,4 +35,33 @@ cargo run -q -p fetchmech-repro --bin fetchmech-lint -- sanitize --short
 echo "==> timing smoke: serial vs parallel runner (writes BENCH_PR3.json)"
 cargo run --release -q -p fetchmech-repro --example runner_bench
 
+echo "==> service smoke: boot fetchmech-serve, drive it, drain it (writes BENCH_PR5.json)"
+cargo build --release -q -p fetchmech-repro --bin fetchmech-serve --example serve_client
+serve_log="$(mktemp)"
+target/release/fetchmech-serve --addr 127.0.0.1:0 --quick >"$serve_log" &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true' EXIT
+# The server prints "fetchmech-serve listening on http://HOST:PORT" once up.
+serve_addr=""
+for _ in $(seq 1 100); do
+    serve_addr="$(sed -n 's#^fetchmech-serve listening on http://##p' "$serve_log")"
+    [ -n "$serve_addr" ] && break
+    sleep 0.1
+done
+if [ -z "$serve_addr" ]; then
+    echo "fetchmech-serve did not come up; log:" >&2
+    cat "$serve_log" >&2
+    exit 1
+fi
+target/release/examples/serve_client "$serve_addr"
+kill -TERM "$serve_pid"
+wait "$serve_pid"
+trap - EXIT
+grep -q "drained, bye" "$serve_log" || {
+    echo "fetchmech-serve did not drain cleanly; log:" >&2
+    cat "$serve_log" >&2
+    exit 1
+}
+rm -f "$serve_log"
+
 echo "CI checks passed."

@@ -164,52 +164,6 @@ pub fn report_human(diags: &[Diagnostic]) -> String {
     out
 }
 
-/// Renders diagnostics as a JSON array (machine-readable reporter).
-///
-/// The schema is `[{"rule_id", "severity", "location", "message"}]`; it is
-/// produced without a serialization dependency so hermetic builds work.
-#[must_use]
-pub fn report_json(diags: &[Diagnostic]) -> String {
-    let mut out = String::from("[");
-    for (i, d) in diags.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        out.push_str("\n  {\"rule_id\": \"");
-        out.push_str(&escape_json(d.rule_id));
-        out.push_str("\", \"severity\": \"");
-        out.push_str(&d.severity.to_string());
-        out.push_str("\", \"location\": \"");
-        out.push_str(&escape_json(&d.location.to_string()));
-        out.push_str("\", \"message\": \"");
-        out.push_str(&escape_json(&d.message));
-        out.push_str("\"}");
-    }
-    if !diags.is_empty() {
-        out.push('\n');
-    }
-    out.push(']');
-    out
-}
-
-fn escape_json(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -236,20 +190,6 @@ mod tests {
         let text = report_human(&sample());
         assert!(text.contains("error[prog.test-rule] at B3:"));
         assert!(text.contains("1 error(s), 1 warning(s)"));
-    }
-
-    #[test]
-    fn json_report_escapes() {
-        let json = report_json(&sample());
-        assert!(json.contains("\\\"quoted\\\"\\nbroke"));
-        assert!(json.starts_with('[') && json.ends_with(']'));
-        // No raw control characters survive.
-        assert!(!json.chars().any(|c| (c as u32) < 0x20 && c != '\n'));
-    }
-
-    #[test]
-    fn empty_json_is_empty_array() {
-        assert_eq!(report_json(&[]), "[]");
     }
 
     #[test]

@@ -11,7 +11,8 @@
 //! structure checkable:
 //!
 //! * a [`Diagnostic`] model with stable rule ids, severities, and human/JSON
-//!   reporters ([`report_human`], [`report_json`]),
+//!   reporters ([`report_human`]; the JSON reporter lives in the core
+//!   crate's shared `fetchmech::json` module),
 //! * a [`Registry`] of [`Pass`]es over typed [`Target`]s,
 //! * three pass families: structural ([`structural::ProgramPass`],
 //!   [`structural::LayoutPass`]), profile flow conservation
@@ -54,9 +55,7 @@ pub mod sanitize;
 pub mod structural;
 pub mod transform;
 
-pub use diag::{
-    has_errors, report_human, report_json, Diagnostic, DiagnosticSink, Location, Severity,
-};
+pub use diag::{has_errors, report_human, Diagnostic, DiagnosticSink, Location, Severity};
 pub use hooks::install_debug_hooks;
 pub use registry::{Pass, Registry, Target};
 pub use sanitize::{check_scheme_dominance, CycleSanitizer, FetchEnv, SanitizeConfig};

@@ -126,6 +126,51 @@ impl LayoutVariant {
     pub fn uses_reordered_program(self) -> bool {
         matches!(self, LayoutVariant::Reordered | LayoutVariant::PadTrace)
     }
+
+    /// Short stable name (also accepted by [`FromStr`](std::str::FromStr)) —
+    /// the spelling the serve API and CLIs use.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            LayoutVariant::Natural => "natural",
+            LayoutVariant::PadAll => "pad-all",
+            LayoutVariant::Reordered => "reordered",
+            LayoutVariant::PadTrace => "pad-trace",
+        }
+    }
+}
+
+impl std::fmt::Display for LayoutVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error from parsing a [`LayoutVariant`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLayoutVariantError(String);
+
+impl std::fmt::Display for ParseLayoutVariantError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown layout {:?} (expected natural, pad-all, reordered, or pad-trace)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseLayoutVariantError {}
+
+impl std::str::FromStr for LayoutVariant {
+    type Err = ParseLayoutVariantError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        LayoutVariant::ALL
+            .into_iter()
+            .find(|v| v.name() == s)
+            .ok_or_else(|| ParseLayoutVariantError(s.to_owned()))
+    }
 }
 
 /// Cache key fully identifying one materialized dynamic trace.
@@ -222,6 +267,25 @@ pub struct LabCacheStats {
     pub reorder_hits: u64,
     /// Reorderings actually computed.
     pub reorder_builds: u64,
+}
+
+impl LabCacheStats {
+    /// The counters as a JSON object (field order matches the struct), for
+    /// the serve subsystem's `/metrics` endpoint and the bench writers.
+    #[must_use]
+    pub fn to_json(&self) -> crate::json::Value {
+        use crate::json::Value;
+        Value::object([
+            ("trace_hits", Value::Uint(self.trace_hits)),
+            ("trace_generations", Value::Uint(self.trace_generations)),
+            ("layout_hits", Value::Uint(self.layout_hits)),
+            ("layout_builds", Value::Uint(self.layout_builds)),
+            ("profile_hits", Value::Uint(self.profile_hits)),
+            ("profile_collections", Value::Uint(self.profile_collections)),
+            ("reorder_hits", Value::Uint(self.reorder_hits)),
+            ("reorder_builds", Value::Uint(self.reorder_builds)),
+        ])
+    }
 }
 
 /// The experiment laboratory: benchmark suite plus concurrently cached

@@ -38,6 +38,7 @@
 
 pub mod cost;
 pub mod experiments;
+pub mod json;
 pub mod metrics;
 pub mod runner;
 pub mod sanitize;
@@ -51,7 +52,7 @@ pub use fetchmech_pipeline::scheme;
 
 pub use cost::{all_structures, StructureCost};
 pub use fetchmech_pipeline::scheme::{ParseSchemeError, SchemeKind};
-pub use runner::Runner;
+pub use runner::{JobQueue, QueueJob, Runner, SubmitError};
 pub use sanitize::{check_dominance, measure_eir_checked, simulate_checked};
 pub use sim::{build_fetch_unit, simulate, SimResult};
 pub use unit::{AlignedFetchUnit, BreakdownStats, FetchConfig, FetchStats};

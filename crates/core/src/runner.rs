@@ -21,8 +21,11 @@
 //! explicitly via [`Runner::new`]; `FETCHMECH_THREADS=1` forces serial
 //! execution, which is also the automatic fallback for tiny grids).
 
+use std::collections::VecDeque;
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
 
 /// Environment variable overriding the worker-pool width.
 pub const THREADS_ENV: &str = "FETCHMECH_THREADS";
@@ -50,8 +53,22 @@ impl Runner {
     /// typo in a job script degrades loudly instead of silently.
     #[must_use]
     pub fn from_env() -> Self {
+        Self::from_flag_or_env(None)
+    }
+
+    /// A runner sized from an explicit `--threads`-style flag, falling back
+    /// to the environment ([`Runner::from_env`] semantics) when the flag is
+    /// absent.
+    ///
+    /// The flag wins over `FETCHMECH_THREADS`; when both are set and
+    /// disagree, a single warning on stderr names the conflict (see
+    /// [`resolve_threads_flag`] for the exact policy). CLIs plumb their
+    /// `--threads N` option through here so flag and env behave identically
+    /// everywhere.
+    #[must_use]
+    pub fn from_flag_or_env(flag: Option<usize>) -> Self {
         let var = std::env::var(THREADS_ENV).ok();
-        let (threads, warning) = resolve_threads(var.as_deref(), default_parallelism());
+        let (threads, warning) = resolve_threads_flag(flag, var.as_deref(), default_parallelism());
         if let Some(msg) = warning {
             eprintln!("warning: {msg}");
         }
@@ -144,7 +161,8 @@ fn default_parallelism() -> usize {
 /// environment state: `None` (unset) silently yields `fallback`; a positive
 /// integer wins; anything else — `0`, empty, garbage — yields `fallback`
 /// with a warning describing the bad value.
-fn resolve_threads(var: Option<&str>, fallback: usize) -> (usize, Option<String>) {
+#[must_use]
+pub fn resolve_threads(var: Option<&str>, fallback: usize) -> (usize, Option<String>) {
     let Some(raw) = var else {
         return (fallback, None);
     };
@@ -157,6 +175,303 @@ fn resolve_threads(var: Option<&str>, fallback: usize) -> (usize, Option<String>
                  using {fallback} worker thread(s)"
             )),
         ),
+    }
+}
+
+/// Resolves a `--threads` flag against the `FETCHMECH_THREADS` environment
+/// variable: the flag wins, and a conflict warns exactly once.
+///
+/// Pure for the same reason as [`resolve_threads`]. Policy:
+///
+/// * flag absent → defer to [`resolve_threads`] on the env value;
+/// * flag `0` → unusable, resolve from env/fallback with a warning;
+/// * flag positive, env unset or agreeing → flag, silent;
+/// * flag positive, env set to anything else → flag, with one warning naming
+///   the overridden value.
+#[must_use]
+pub fn resolve_threads_flag(
+    flag: Option<usize>,
+    var: Option<&str>,
+    fallback: usize,
+) -> (usize, Option<String>) {
+    let Some(n) = flag else {
+        return resolve_threads(var, fallback);
+    };
+    if n == 0 {
+        let (threads, _) = resolve_threads(var, fallback);
+        return (
+            threads,
+            Some(format!(
+                "--threads 0 is not a positive integer; using {threads} worker thread(s)"
+            )),
+        );
+    }
+    match var {
+        Some(raw) if raw.trim().parse::<usize>() != Ok(n) => (
+            n,
+            Some(format!(
+                "--threads {n} overrides {THREADS_ENV}={raw:?}; using {n} worker thread(s)"
+            )),
+        ),
+        _ => (n, None),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bounded job queue: the long-lived service counterpart of `Runner::run`.
+// ---------------------------------------------------------------------------
+
+/// A unit of work for a [`JobQueue`].
+///
+/// The queue checks [`QueueJob::cancelled`] *between* jobs — after popping a
+/// job and before running it — so a job whose waiters have all given up (a
+/// deadline expired, a client disconnected) is skipped via
+/// [`QueueJob::skip`] instead of burning a worker. Cancellation is
+/// cooperative and never interrupts a running job.
+pub trait QueueJob: Send + 'static {
+    /// Executes the job on a worker thread.
+    fn run(self);
+
+    /// Whether the job should be skipped instead of run. Checked once, right
+    /// before execution.
+    fn cancelled(&self) -> bool {
+        false
+    }
+
+    /// Called (instead of [`QueueJob::run`]) when the job was cancelled, so
+    /// it can notify its waiters.
+    fn skip(self)
+    where
+        Self: Sized,
+    {
+    }
+}
+
+/// Why [`JobQueue::try_submit`] rejected a job; the job is handed back so
+/// the caller can respond to its waiters.
+#[derive(Debug)]
+pub enum SubmitError<J> {
+    /// The bounded queue is at capacity — shed load (HTTP 429 territory).
+    Full(J),
+    /// The queue is draining for shutdown and accepts no new work.
+    Closed(J),
+}
+
+impl<J> SubmitError<J> {
+    /// The rejected job.
+    pub fn into_job(self) -> J {
+        match self {
+            SubmitError::Full(job) | SubmitError::Closed(job) => job,
+        }
+    }
+}
+
+impl<J> fmt::Display for SubmitError<J> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Full(_) => write!(f, "job queue full"),
+            SubmitError::Closed(_) => write!(f, "job queue closed"),
+        }
+    }
+}
+
+struct QueueState<J> {
+    queue: VecDeque<J>,
+    closed: bool,
+    running: usize,
+}
+
+struct QueueShared<J> {
+    state: Mutex<QueueState<J>>,
+    capacity: usize,
+    /// Wakes workers when work arrives or the queue closes.
+    work: Condvar,
+    /// Wakes [`JobQueue::drain`] when the queue goes quiescent.
+    idle: Condvar,
+}
+
+/// A bounded multi-producer job queue with a fixed worker pool — the
+/// admission-control primitive the experiment service layers HTTP on.
+///
+/// Where [`Runner::run`] executes one finite grid and returns, a `JobQueue`
+/// is long-lived: producers [`try_submit`](JobQueue::try_submit) jobs (and
+/// are *refused*, not blocked, when the bounded queue is full — callers turn
+/// that into load-shedding), `threads` workers execute them in FIFO order,
+/// and [`shutdown`](JobQueue::shutdown) closes admissions, drains everything
+/// already accepted, and joins the workers. Jobs implement [`QueueJob`];
+/// cancellation is checked between jobs, never mid-run.
+pub struct JobQueue<J: QueueJob> {
+    shared: Arc<QueueShared<J>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<J: QueueJob> fmt::Debug for JobQueue<J> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JobQueue")
+            .field("capacity", &self.shared.capacity)
+            .field("workers", &self.workers.len())
+            .field("depth", &self.depth())
+            .finish()
+    }
+}
+
+impl<J: QueueJob> JobQueue<J> {
+    /// Starts a queue bounded at `capacity` pending jobs, executed by
+    /// `runner.threads()` worker threads (both clamped to at least 1).
+    #[must_use]
+    pub fn start(runner: Runner, capacity: usize) -> Self {
+        let shared = Arc::new(QueueShared {
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                closed: false,
+                running: 0,
+            }),
+            capacity: capacity.max(1),
+            work: Condvar::new(),
+            idle: Condvar::new(),
+        });
+        let workers = (0..runner.threads())
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("fetchmech-queue-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn queue worker")
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// Admits a job, or refuses immediately when the queue is full or
+    /// closed. Never blocks.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Full`] when `capacity` jobs are already pending, and
+    /// [`SubmitError::Closed`] after [`close`](JobQueue::close) — the job is
+    /// returned inside the error either way.
+    pub fn try_submit(&self, job: J) -> Result<(), SubmitError<J>> {
+        let mut state = self.shared.state.lock().expect("queue lock poisoned");
+        if state.closed {
+            return Err(SubmitError::Closed(job));
+        }
+        if state.queue.len() >= self.shared.capacity {
+            return Err(SubmitError::Full(job));
+        }
+        state.queue.push_back(job);
+        drop(state);
+        self.shared.work.notify_one();
+        Ok(())
+    }
+
+    /// Pending (admitted, not yet started) jobs.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("queue lock poisoned")
+            .queue
+            .len()
+    }
+
+    /// Jobs currently executing on workers.
+    #[must_use]
+    pub fn running(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("queue lock poisoned")
+            .running
+    }
+
+    /// The admission bound.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// The worker-pool width.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Closes admissions: subsequent [`try_submit`](JobQueue::try_submit)
+    /// calls fail with [`SubmitError::Closed`], while already-admitted jobs
+    /// keep draining.
+    pub fn close(&self) {
+        self.shared
+            .state
+            .lock()
+            .expect("queue lock poisoned")
+            .closed = true;
+        self.shared.work.notify_all();
+        self.shared.idle.notify_all();
+    }
+
+    /// Blocks until the queue is closed, empty, *and* no job is running —
+    /// the by-reference counterpart of [`shutdown`](JobQueue::shutdown) for
+    /// callers that hold the queue behind an `Arc` (the workers exit on
+    /// their own once drained; they are not joined here).
+    pub fn drain(&self) {
+        let mut state = self.shared.state.lock().expect("queue lock poisoned");
+        while !(state.closed && state.queue.is_empty() && state.running == 0) {
+            state = self.shared.idle.wait(state).expect("queue lock poisoned");
+        }
+    }
+
+    /// Graceful shutdown: closes admissions, waits for the workers to drain
+    /// every already-admitted job, and joins them.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any worker (mirroring [`Runner::run`]).
+    pub fn shutdown(mut self) {
+        self.close();
+        for worker in self.workers.drain(..) {
+            if let Err(payload) = worker.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+impl<J: QueueJob> Drop for JobQueue<J> {
+    fn drop(&mut self) {
+        // Dropping without `shutdown()` still drains: close and detach. The
+        // workers hold their own Arc to the shared state, so they finish the
+        // admitted jobs even after the handle is gone.
+        self.close();
+    }
+}
+
+fn worker_loop<J: QueueJob>(shared: &QueueShared<J>) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().expect("queue lock poisoned");
+            loop {
+                if let Some(job) = state.queue.pop_front() {
+                    state.running += 1;
+                    break job;
+                }
+                if state.closed {
+                    return;
+                }
+                state = shared.work.wait(state).expect("queue lock poisoned");
+            }
+        };
+        // The cooperative cancellation point: between jobs, never mid-run.
+        if job.cancelled() {
+            job.skip();
+        } else {
+            job.run();
+        }
+        let mut state = shared.state.lock().expect("queue lock poisoned");
+        state.running -= 1;
+        if state.queue.is_empty() && state.running == 0 {
+            shared.idle.notify_all();
+        }
     }
 }
 
@@ -221,5 +536,157 @@ mod tests {
             assert!(j != 3, "job 3 exploded");
             j
         });
+    }
+
+    #[test]
+    fn flag_resolution_beats_env_and_warns_on_conflict() {
+        // No flag: identical to plain env resolution.
+        assert_eq!(resolve_threads_flag(None, Some("3"), 6), (3, None));
+        assert_eq!(resolve_threads_flag(None, None, 6), (6, None));
+        // Flag alone, or agreeing with the env: silent.
+        assert_eq!(resolve_threads_flag(Some(4), None, 6), (4, None));
+        assert_eq!(resolve_threads_flag(Some(4), Some("4"), 6), (4, None));
+        assert_eq!(resolve_threads_flag(Some(4), Some(" 4 "), 6), (4, None));
+        // Flag disagreeing with a set env: flag wins, one warning.
+        let (threads, warning) = resolve_threads_flag(Some(4), Some("8"), 6);
+        assert_eq!(threads, 4);
+        let msg = warning.expect("conflict must warn");
+        assert!(
+            msg.contains("--threads 4") && msg.contains(THREADS_ENV),
+            "{msg}"
+        );
+        // Flag wins over an unusable env value too (still warns: both were set).
+        let (threads, warning) = resolve_threads_flag(Some(2), Some("zero"), 6);
+        assert_eq!(threads, 2);
+        assert!(warning.is_some());
+        // A zero flag is unusable: resolve from env with a warning.
+        let (threads, warning) = resolve_threads_flag(Some(0), Some("3"), 6);
+        assert_eq!(threads, 3);
+        assert!(warning
+            .expect("zero flag must warn")
+            .contains("--threads 0"));
+    }
+
+    // -- JobQueue ----------------------------------------------------------
+
+    use std::sync::atomic::AtomicBool;
+
+    #[derive(Debug)]
+    struct TestJob {
+        id: usize,
+        cancel: Arc<AtomicBool>,
+        ran: Arc<Mutex<Vec<usize>>>,
+        skipped: Arc<Mutex<Vec<usize>>>,
+        delay_ms: u64,
+    }
+
+    impl QueueJob for TestJob {
+        fn run(self) {
+            if self.delay_ms > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(self.delay_ms));
+            }
+            self.ran.lock().expect("ran lock").push(self.id);
+        }
+        fn cancelled(&self) -> bool {
+            self.cancel.load(Ordering::SeqCst)
+        }
+        fn skip(self) {
+            self.skipped.lock().expect("skipped lock").push(self.id);
+        }
+    }
+
+    struct Harness {
+        ran: Arc<Mutex<Vec<usize>>>,
+        skipped: Arc<Mutex<Vec<usize>>>,
+    }
+
+    impl Harness {
+        fn new() -> Self {
+            Self {
+                ran: Arc::new(Mutex::new(Vec::new())),
+                skipped: Arc::new(Mutex::new(Vec::new())),
+            }
+        }
+        fn job(&self, id: usize, cancel: &Arc<AtomicBool>, delay_ms: u64) -> TestJob {
+            TestJob {
+                id,
+                cancel: Arc::clone(cancel),
+                ran: Arc::clone(&self.ran),
+                skipped: Arc::clone(&self.skipped),
+                delay_ms,
+            }
+        }
+    }
+
+    #[test]
+    fn queue_runs_everything_then_drains_on_shutdown() {
+        let h = Harness::new();
+        let live = Arc::new(AtomicBool::new(false));
+        let q = JobQueue::start(Runner::new(3), 64);
+        for id in 0..20 {
+            q.try_submit(h.job(id, &live, 0)).expect("capacity is 64");
+        }
+        q.shutdown();
+        let mut ran = h.ran.lock().expect("ran lock").clone();
+        ran.sort_unstable();
+        assert_eq!(ran, (0..20).collect::<Vec<_>>());
+        assert!(h.skipped.lock().expect("skipped lock").is_empty());
+    }
+
+    #[test]
+    fn queue_sheds_when_full_and_rejects_after_close() {
+        let h = Harness::new();
+        let live = Arc::new(AtomicBool::new(false));
+        // One worker pinned on a slow job, capacity 2: the 4th submit is shed.
+        let q = JobQueue::start(Runner::new(1), 2);
+        q.try_submit(h.job(0, &live, 150))
+            .expect("admit running job");
+        // Wait until the worker picked job 0 up, so the queue itself is empty.
+        for _ in 0..200 {
+            if q.running() == 1 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert_eq!(q.running(), 1);
+        q.try_submit(h.job(1, &live, 0)).expect("fits in queue");
+        q.try_submit(h.job(2, &live, 0)).expect("fits in queue");
+        assert_eq!(q.depth(), 2);
+        match q.try_submit(h.job(3, &live, 0)) {
+            Err(SubmitError::Full(job)) => assert_eq!(job.id, 3),
+            other => panic!("expected Full, got {:?}", other.map_err(|e| e.to_string())),
+        }
+        q.close();
+        match q.try_submit(h.job(4, &live, 0)) {
+            Err(SubmitError::Closed(job)) => assert_eq!(job.id, 4),
+            other => panic!(
+                "expected Closed, got {:?}",
+                other.map_err(|e| e.to_string())
+            ),
+        }
+        // Shutdown still drains jobs 1 and 2.
+        q.shutdown();
+        let mut ran = h.ran.lock().expect("ran lock").clone();
+        ran.sort_unstable();
+        assert_eq!(ran, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn cancelled_jobs_are_skipped_between_jobs() {
+        let h = Harness::new();
+        let live = Arc::new(AtomicBool::new(false));
+        let doomed = Arc::new(AtomicBool::new(false));
+        let q = JobQueue::start(Runner::new(1), 16);
+        // Occupy the worker, queue a doomed job behind it, cancel it while
+        // it is still queued.
+        q.try_submit(h.job(0, &live, 100)).expect("admit");
+        q.try_submit(h.job(1, &doomed, 0)).expect("admit");
+        q.try_submit(h.job(2, &live, 0)).expect("admit");
+        doomed.store(true, Ordering::SeqCst);
+        q.shutdown();
+        let mut ran = h.ran.lock().expect("ran lock").clone();
+        ran.sort_unstable();
+        assert_eq!(ran, vec![0, 2], "doomed job must not run");
+        assert_eq!(*h.skipped.lock().expect("skipped lock"), vec![1]);
     }
 }

@@ -110,6 +110,16 @@ impl MachineModel {
         vec![Self::p14(), Self::p18(), Self::p112()]
     }
 
+    /// Looks up a paper model by name, case-insensitively (`"p14"`, `"P18"`,
+    /// `"p112"`, …) — the single parser behind every CLI/API `--machine`
+    /// option.
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<MachineModel> {
+        Self::paper_models()
+            .into_iter()
+            .find(|m| m.name.eq_ignore_ascii_case(name))
+    }
+
     /// Instructions per cache block (equals the issue rate for the paper
     /// models).
     #[must_use]

@@ -11,6 +11,7 @@
 use std::time::Instant;
 
 use fetchmech::experiments::{ExpConfig, Lab, LayoutVariant};
+use fetchmech::json::Value;
 use fetchmech::pipeline::MachineModel;
 use fetchmech::workloads::WorkloadClass;
 use fetchmech::{SchemeKind, SimResult};
@@ -61,13 +62,22 @@ fn main() {
     let stats = parallel_lab.cache_stats();
     let jobs = serial_results.len();
     let speedup = serial_secs / parallel_secs;
-    let json = format!(
-        "{{\n  \"grid_jobs\": {jobs},\n  \"serial_secs\": {serial_secs:.3},\n  \
-         \"parallel_secs\": {parallel_secs:.3},\n  \"threads\": {threads},\n  \
-         \"speedup\": {speedup:.3},\n  \"trace_generations\": {},\n  \
-         \"trace_hits\": {}\n}}\n",
-        stats.trace_generations, stats.trace_hits
-    );
+    let report = Value::object([
+        ("grid_jobs", Value::Uint(jobs as u64)),
+        (
+            "serial_secs",
+            Value::Num((serial_secs * 1000.0).round() / 1000.0),
+        ),
+        (
+            "parallel_secs",
+            Value::Num((parallel_secs * 1000.0).round() / 1000.0),
+        ),
+        ("threads", Value::Uint(threads as u64)),
+        ("speedup", Value::Num((speedup * 1000.0).round() / 1000.0)),
+        ("trace_generations", Value::Uint(stats.trace_generations)),
+        ("trace_hits", Value::Uint(stats.trace_hits)),
+    ]);
+    let json = format!("{}\n", report.pretty());
     std::fs::write("BENCH_PR3.json", &json).expect("write BENCH_PR3.json");
     println!("{json}");
     eprintln!(

@@ -18,6 +18,9 @@
 //!   --machine NAME      p14 | p18 | p112 (default p14)
 //!   --insts N           dynamic trace length per run (default 20000)
 //!   --short             quick mode for CI: 4000-instruction traces
+//!   --threads N         worker threads for the per-benchmark fan-out
+//!                       (default: FETCHMECH_THREADS or available
+//!                       parallelism; a conflicting env var warns once)
 //!   --disable RULE      disable one sanitizer rule id (repeatable)
 //!   --json              emit diagnostics as a JSON array
 //!   --list              print the sanitizer rule catalog
@@ -40,13 +43,13 @@ use std::sync::Arc;
 
 use fetchmech::compiler::{layout_pad_all, reorder, select_traces, Profile, TraceSelectConfig};
 use fetchmech::isa::{DynInst, Layout, LayoutOptions};
+use fetchmech::json::diagnostics_json;
 use fetchmech::pipeline::MachineModel;
+use fetchmech::runner::Runner;
 use fetchmech::workloads::{suite, InputId};
 use fetchmech::SchemeKind;
 use fetchmech_analysis::sanitize::{self_test, RULES};
-use fetchmech_analysis::{
-    report_human, report_json, Diagnostic, Registry, SanitizeConfig, Severity, Target,
-};
+use fetchmech_analysis::{report_human, Diagnostic, Registry, SanitizeConfig, Severity, Target};
 
 const BLOCK_BYTES: u64 = 16;
 
@@ -194,6 +197,7 @@ struct SanOptions {
     insts: u64,
     json: bool,
     disabled: Vec<String>,
+    threads: Option<usize>,
 }
 
 impl SanOptions {
@@ -212,7 +216,8 @@ impl SanOptions {
 
 fn sanitize_usage() -> &'static str {
     "usage: fetchmech-lint sanitize [--machine p14|p18|p112] [--insts N] \
-     [--short] [--disable RULE]... [--json] [--list] [--self-test] [BENCHMARK...]"
+     [--short] [--threads N] [--disable RULE]... [--json] [--list] [--self-test] \
+     [BENCHMARK...]"
 }
 
 fn list_sanitize_rules() {
@@ -228,6 +233,7 @@ fn parse_sanitize_args(args: &[String]) -> Result<Option<SanOptions>, String> {
         insts: 20_000,
         json: false,
         disabled: Vec::new(),
+        threads: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -250,6 +256,10 @@ fn parse_sanitize_args(args: &[String]) -> Result<Option<SanOptions>, String> {
             "--insts" => {
                 let n = it.next().ok_or("--insts needs a count")?;
                 opts.insts = n.parse().map_err(|_| format!("bad --insts value {n}"))?;
+            }
+            "--threads" => {
+                let n = it.next().ok_or("--threads needs a count")?;
+                opts.threads = Some(n.parse().map_err(|_| format!("bad --threads value {n}"))?);
             }
             "--disable" => {
                 let rule = it.next().ok_or("--disable needs a rule id")?;
@@ -330,10 +340,14 @@ fn sanitize_main(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     }
+    // Benchmarks are independent: fan out on the worker pool, then report
+    // in suite order so output (and the JSON array) stays deterministic.
+    let runner = Runner::from_flag_or_env(opts.threads);
+    let results = runner.run(&opts.benchmarks, |name| sanitize_benchmark(name, &opts));
     let mut all = Vec::new();
     let mut failed = false;
-    for name in &opts.benchmarks {
-        match sanitize_benchmark(name, &opts) {
+    for (name, result) in opts.benchmarks.iter().zip(results) {
+        match result {
             Ok(diags) => {
                 if !opts.json {
                     let errors = diags
@@ -354,7 +368,7 @@ fn sanitize_main(args: &[String]) -> ExitCode {
         }
     }
     if opts.json {
-        println!("{}", report_json(&all));
+        println!("{}", diagnostics_json(&all));
     }
     if failed || all.iter().any(|d| d.severity == Severity::Error) {
         ExitCode::FAILURE
@@ -409,7 +423,7 @@ fn main() -> ExitCode {
         }
     }
     if opts.json {
-        println!("{}", report_json(&all));
+        println!("{}", diagnostics_json(&all));
     }
     let bad = all.iter().any(|d| {
         d.severity == Severity::Error || (opts.deny_warnings && d.severity == Severity::Warning)

@@ -10,4 +10,6 @@
 
 #![warn(missing_docs)]
 
+pub mod serve;
+
 pub use fetchmech::*;

@@ -1,0 +1,486 @@
+//! `fetchmech-serve`: a concurrent experiment service over the simulator.
+//!
+//! The service answers HTTP/1.1 + JSON requests from a process-wide shared
+//! [`Lab`] (so repeated work hits the memoized trace/layout/profile caches)
+//! and a bounded job queue of unit simulations layered on
+//! [`fetchmech::runner::Runner`]. The pieces:
+//!
+//! * [`http`] — a minimal `std::net` HTTP layer (one request per
+//!   connection, size-limited, `Connection: close`).
+//! * [`engine`] — the coalescing job engine: identical in-flight requests
+//!   share one computation; deadlines cancel queued work cooperatively.
+//! * [`api`] — request validation and response rendering for
+//!   `POST /v1/simulate` and `POST /v1/sweep`.
+//! * [`metrics`] — counters and latency histograms behind `GET /metrics`.
+//!
+//! Admission control is explicit: when the bounded queue is full the
+//! service sheds load with a structured `429` instead of queueing
+//! unboundedly, and [`Server::shutdown`] drains in-flight work before
+//! returning so a SIGTERM never truncates a running experiment.
+
+pub mod api;
+pub mod engine;
+pub mod http;
+pub mod metrics;
+
+use std::io::ErrorKind;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use fetchmech::experiments::{ExpConfig, Lab};
+use fetchmech::json::Value;
+use fetchmech::runner::{JobQueue, Runner};
+
+use api::Limits;
+use engine::{EngineShared, Outcome, Shed, SimJob, WaitResult};
+use http::{ReadError, Request, Response};
+use metrics::Metrics;
+
+/// Everything configurable about the service.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port `0` picks an ephemeral port (reported by
+    /// [`Server::addr`]).
+    pub addr: String,
+    /// Worker-pool size; `None` defers to `FETCHMECH_THREADS` / available
+    /// parallelism, exactly like the CLI tools.
+    pub threads: Option<usize>,
+    /// Bounded job-queue capacity; submissions beyond it are shed with 429.
+    pub queue_capacity: usize,
+    /// Most simultaneously-served connections; beyond it, connections get an
+    /// immediate 503.
+    pub max_connections: usize,
+    /// Default per-request deadline (ms) when the body omits `deadline_ms`.
+    pub default_deadline_ms: u64,
+    /// Upper cap on any requested deadline (ms).
+    pub max_deadline_ms: u64,
+    /// Default trace length when the body omits `insts`.
+    pub default_insts: u64,
+    /// Upper cap on any requested trace length.
+    pub max_insts: u64,
+    /// Lab sizing (trace lengths used by profiling/reordering).
+    pub exp: ExpConfig,
+    /// How long [`Server::shutdown`] waits for open connections to finish
+    /// before abandoning them.
+    pub drain_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            threads: None,
+            queue_capacity: 128,
+            max_connections: 128,
+            default_deadline_ms: 30_000,
+            max_deadline_ms: 600_000,
+            default_insts: 20_000,
+            max_insts: 500_000,
+            exp: ExpConfig::full(),
+            drain_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Counts live connection-handler threads so shutdown can drain them.
+#[derive(Debug)]
+struct ConnTracker {
+    max: usize,
+    live: Mutex<usize>,
+    idle: Condvar,
+}
+
+impl ConnTracker {
+    fn new(max: usize) -> Self {
+        Self {
+            max: max.max(1),
+            live: Mutex::new(0),
+            idle: Condvar::new(),
+        }
+    }
+
+    /// Claims a connection slot; `false` when the server is saturated.
+    fn try_acquire(&self) -> bool {
+        let mut live = self.live.lock().expect("conn lock poisoned");
+        if *live >= self.max {
+            return false;
+        }
+        *live += 1;
+        true
+    }
+
+    fn release(&self) {
+        let mut live = self.live.lock().expect("conn lock poisoned");
+        *live -= 1;
+        if *live == 0 {
+            self.idle.notify_all();
+        }
+    }
+
+    /// Waits until no connections remain (or the timeout passes).
+    fn drain(&self, timeout: Duration) {
+        let deadline = Instant::now() + timeout;
+        let mut live = self.live.lock().expect("conn lock poisoned");
+        while *live > 0 {
+            let now = Instant::now();
+            if now >= deadline {
+                return;
+            }
+            let (guard, _) = self
+                .idle
+                .wait_timeout(live, deadline - now)
+                .expect("conn lock poisoned");
+            live = guard;
+        }
+    }
+}
+
+/// A running service instance. Dropping it without calling
+/// [`Server::shutdown`] stops accepting but does not wait for in-flight
+/// work.
+#[derive(Debug)]
+pub struct Server {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<thread::JoinHandle<()>>,
+    conns: Arc<ConnTracker>,
+    queue: Arc<JobQueue<SimJob>>,
+    shared: Arc<EngineShared>,
+    drain_timeout: Duration,
+}
+
+/// Per-connection context handed to the handler threads.
+#[derive(Debug)]
+struct Handler {
+    shared: Arc<EngineShared>,
+    queue: Arc<JobQueue<SimJob>>,
+    limits: Limits,
+    started: Instant,
+}
+
+impl Server {
+    /// Binds, spawns the worker pool and the accept loop, and returns once
+    /// the service is reachable.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error if the address is unavailable.
+    pub fn start(config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let runner = Runner::from_flag_or_env(config.threads);
+        let queue = Arc::new(JobQueue::start(runner, config.queue_capacity));
+        let metrics = Arc::new(Metrics::new());
+        let lab = Arc::new(Lab::with_runner(config.exp, runner));
+        let shared = Arc::new(EngineShared::new(lab, Arc::clone(&metrics)));
+        let limits = Limits {
+            default_insts: config.default_insts,
+            max_insts: config.max_insts,
+            default_deadline_ms: config.default_deadline_ms,
+            max_deadline_ms: config.max_deadline_ms,
+        };
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns = Arc::new(ConnTracker::new(config.max_connections));
+
+        let accept_stop = Arc::clone(&stop);
+        let accept_conns = Arc::clone(&conns);
+        let accept_shared = Arc::clone(&shared);
+        let accept_queue = Arc::clone(&queue);
+        let accept_thread = thread::Builder::new()
+            .name("fetchmech-accept".to_string())
+            .spawn(move || {
+                accept_loop(
+                    &listener,
+                    &accept_stop,
+                    &accept_conns,
+                    &accept_shared,
+                    &accept_queue,
+                    limits,
+                );
+            })
+            .expect("failed to spawn accept thread");
+
+        Ok(Server {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            conns,
+            queue,
+            shared,
+            drain_timeout: config.drain_timeout,
+        })
+    }
+
+    /// The actual bound address (resolves ephemeral ports).
+    #[must_use]
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// The engine's metrics block (exposed for tests and embedding).
+    #[must_use]
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.shared.metrics)
+    }
+
+    /// Graceful shutdown: stop accepting, wait for open connections (up to
+    /// the configured drain timeout), then close the job queue and drain any
+    /// queued work.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        self.conns.drain(self.drain_timeout);
+        self.queue.close();
+        self.queue.drain();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        self.queue.close();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    stop: &Arc<AtomicBool>,
+    conns: &Arc<ConnTracker>,
+    shared: &Arc<EngineShared>,
+    queue: &Arc<JobQueue<SimJob>>,
+    limits: Limits,
+) {
+    let started = Instant::now();
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+                let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+                if !conns.try_acquire() {
+                    refuse_saturated(stream, shared);
+                    continue;
+                }
+                let handler = Handler {
+                    shared: Arc::clone(shared),
+                    queue: Arc::clone(queue),
+                    limits,
+                    started,
+                };
+                let thread_conns = Arc::clone(conns);
+                let spawned = thread::Builder::new()
+                    .name("fetchmech-conn".to_string())
+                    .spawn(move || {
+                        handler.serve_connection(stream);
+                        thread_conns.release();
+                    });
+                if spawned.is_err() {
+                    conns.release();
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// Over the connection cap: answer 503 inline on the accept thread (cheap —
+/// no simulation work) rather than silently dropping the socket.
+fn refuse_saturated(mut stream: TcpStream, shared: &Arc<EngineShared>) {
+    shared
+        .metrics
+        .resp_unavailable
+        .fetch_add(1, Ordering::Relaxed);
+    let resp = Response::error(503, "saturated", "connection limit reached; retry shortly");
+    let _ = resp.write_to(&mut stream);
+}
+
+impl Handler {
+    fn serve_connection(&self, mut stream: TcpStream) {
+        let request = match http::read_request(&mut stream) {
+            Ok(req) => req,
+            Err(ReadError::Closed) => return,
+            Err(ReadError::Io(_)) => return,
+            Err(ReadError::TooLarge) => {
+                self.finish(
+                    &mut stream,
+                    Response::error(413, "too_large", "request exceeds size limits"),
+                );
+                return;
+            }
+            Err(ReadError::Malformed(why)) => {
+                self.finish(&mut stream, Response::error(400, "malformed", why));
+                return;
+            }
+        };
+        let response = self.route(&request);
+        self.finish(&mut stream, response);
+    }
+
+    fn finish(&self, stream: &mut TcpStream, response: Response) {
+        self.shared.metrics.record_status(response.status);
+        let _ = response.write_to(stream);
+    }
+
+    fn route(&self, request: &Request) -> Response {
+        let metrics = &self.shared.metrics;
+        match (request.method.as_str(), request.path.as_str()) {
+            ("GET", "/healthz") => {
+                metrics.req_healthz.fetch_add(1, Ordering::Relaxed);
+                Response::json(200, &api::healthz_json())
+            }
+            ("GET", "/metrics") => {
+                metrics.req_metrics.fetch_add(1, Ordering::Relaxed);
+                Response::json(200, &self.metrics_json())
+            }
+            ("POST", "/v1/simulate") => {
+                metrics.req_simulate.fetch_add(1, Ordering::Relaxed);
+                let t0 = Instant::now();
+                let resp = self.handle_simulate(&request.body);
+                metrics.record_latency(t0.elapsed());
+                resp
+            }
+            ("POST", "/v1/sweep") => {
+                metrics.req_sweep.fetch_add(1, Ordering::Relaxed);
+                let t0 = Instant::now();
+                let resp = self.handle_sweep(&request.body);
+                metrics.record_latency(t0.elapsed());
+                resp
+            }
+            ("GET" | "POST", _) => {
+                metrics.req_other.fetch_add(1, Ordering::Relaxed);
+                Response::error(404, "not_found", format!("no route for {}", request.path))
+            }
+            _ => {
+                metrics.req_other.fetch_add(1, Ordering::Relaxed);
+                Response::error(
+                    405,
+                    "method_not_allowed",
+                    format!("method {}", request.method),
+                )
+            }
+        }
+    }
+
+    fn metrics_json(&self) -> Value {
+        let lab_cache = self.shared.lab.cache_stats().to_json();
+        self.shared.metrics.to_json(
+            self.started.elapsed(),
+            self.queue.depth(),
+            self.queue.capacity(),
+            self.queue.running(),
+            self.queue.workers(),
+            &lab_cache,
+        )
+    }
+
+    fn handle_simulate(&self, body: &[u8]) -> Response {
+        let req = match api::parse_simulate(body, &self.limits) {
+            Ok(req) => req,
+            Err(why) => return Response::error(400, "invalid_request", why),
+        };
+        let deadline = Instant::now() + Duration::from_millis(req.deadline_ms);
+        let cell = match engine::submit(&self.shared, &self.queue, req.key, req.machine, deadline) {
+            Ok(cell) => cell,
+            Err(shed) => return shed_response(shed),
+        };
+        match cell.wait(deadline) {
+            WaitResult::Finished(Outcome::Done(result)) => {
+                Response::json(200, &api::sim_result_json(&req.key, &result))
+            }
+            WaitResult::Finished(Outcome::Expired) | WaitResult::TimedOut => Response::error(
+                504,
+                "deadline_exceeded",
+                format!("deadline of {} ms expired", req.deadline_ms),
+            ),
+            WaitResult::Finished(Outcome::Failed(why)) => {
+                Response::error(500, "simulation_failed", why)
+            }
+        }
+    }
+
+    fn handle_sweep(&self, body: &[u8]) -> Response {
+        let req = match api::parse_sweep(body, &self.limits) {
+            Ok(req) => req,
+            Err(why) => return Response::error(400, "invalid_request", why),
+        };
+        let deadline = Instant::now() + Duration::from_millis(req.deadline_ms);
+
+        // Phase 1: admit (or coalesce) the whole grid up front so identical
+        // cells coalesce against each other; if any cell is refused, detach
+        // everything already attached and shed the sweep as a unit.
+        let mut cells = Vec::with_capacity(req.cells.len());
+        for (key, machine) in &req.cells {
+            match engine::submit(&self.shared, &self.queue, *key, machine.clone(), deadline) {
+                Ok(cell) => cells.push(cell),
+                Err(shed) => {
+                    for cell in &cells {
+                        cell.detach();
+                    }
+                    return shed_response(shed);
+                }
+            }
+        }
+
+        // Phase 2: collect in deterministic grid order.
+        let mut results = Vec::with_capacity(cells.len());
+        for ((key, _), cell) in req.cells.iter().zip(&cells) {
+            match cell.wait(deadline) {
+                WaitResult::Finished(Outcome::Done(result)) => {
+                    results.push(api::sim_result_json(key, &result));
+                }
+                WaitResult::Finished(Outcome::Expired) | WaitResult::TimedOut => {
+                    // Later cells share the same deadline: detach them so
+                    // their queued jobs can be skipped, then report 504.
+                    for later in &cells[results.len() + 1..] {
+                        later.detach();
+                    }
+                    return Response::error(
+                        504,
+                        "deadline_exceeded",
+                        format!(
+                            "deadline of {} ms expired after {} of {} cells",
+                            req.deadline_ms,
+                            results.len(),
+                            req.cells.len()
+                        ),
+                    );
+                }
+                WaitResult::Finished(Outcome::Failed(why)) => {
+                    for later in &cells[results.len() + 1..] {
+                        later.detach();
+                    }
+                    return Response::error(500, "simulation_failed", why);
+                }
+            }
+        }
+        Response::json(
+            200,
+            &Value::object([
+                ("jobs", Value::Uint(results.len() as u64)),
+                ("results", Value::Array(results)),
+            ]),
+        )
+    }
+}
+
+fn shed_response(shed: Shed) -> Response {
+    match shed {
+        Shed::QueueFull => {
+            Response::error(429, "queue_full", "job queue is full; retry with backoff")
+        }
+        Shed::Closed => Response::error(503, "shutting_down", "service is draining"),
+    }
+}

@@ -1,0 +1,375 @@
+//! Integration tests for `fetchmech-serve`: boot the server in-process on an
+//! ephemeral port and drive it over raw `std::net::TcpStream`, asserting
+//! byte-identical results vs serial execution, queue-full shedding,
+//! coalescing, deadline expiry, cache reuse across sweeps, and graceful
+//! shutdown draining.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use fetchmech::experiments::{ExpConfig, Lab, LayoutVariant, TraceKey};
+use fetchmech::json::{parse, Value};
+use fetchmech::pipeline::MachineModel;
+use fetchmech::workloads::InputId;
+use fetchmech::{simulate, SchemeKind};
+use fetchmech_repro::serve::engine::SimKey;
+use fetchmech_repro::serve::{api, ServeConfig, Server};
+
+/// Short traces keep debug-mode runs (which execute the full cycle-level
+/// sanitizer) fast.
+const EXP: ExpConfig = ExpConfig {
+    trace_len: 4_000,
+    profile_len: 2_000,
+};
+
+fn test_config() -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        exp: EXP,
+        default_insts: 1_500,
+        ..ServeConfig::default()
+    }
+}
+
+/// One request over a fresh connection; returns (status, body including the
+/// trailing newline).
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(180)))
+        .unwrap();
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("write request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8(raw).expect("response is UTF-8");
+    let (head, body) = text.split_once("\r\n\r\n").expect("response has a head");
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .expect("numeric status");
+    (status, body.to_string())
+}
+
+fn metrics(addr: SocketAddr) -> Value {
+    let (status, body) = http(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    parse(&body).expect("metrics is valid JSON")
+}
+
+fn metric_u64(m: &Value, group: &str, field: &str) -> u64 {
+    m.get(group)
+        .and_then(|g| g.get(field))
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| panic!("metrics missing {group}.{field}"))
+}
+
+/// Polls `/metrics` until `pred` holds (or panics after ~10s).
+fn wait_for(addr: SocketAddr, what: &str, pred: impl Fn(&Value) -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if pred(&metrics(addr)) {
+            return;
+        }
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// What the server must answer for `key`: the same simulation run serially,
+/// rendered through the same JSON path, plus the wire newline.
+fn expected_body(lab: &Lab, key: &SimKey, machine: &MachineModel) -> String {
+    let trace = lab.trace(TraceKey {
+        bench: key.bench,
+        variant: key.variant,
+        block_bytes: machine.block_bytes,
+        input: InputId::TEST,
+        limit: key.insts,
+    });
+    let result = simulate(machine, key.scheme, &trace);
+    format!("{}\n", api::sim_result_json(key, &result).pretty())
+}
+
+#[test]
+fn healthz_and_basic_errors() {
+    let server = Server::start(test_config()).expect("server start");
+    let addr = server.addr();
+
+    let (status, body) = http(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    let health = parse(&body).expect("healthz is valid JSON");
+    assert_eq!(health.get("status").and_then(Value::as_str), Some("ok"));
+    assert!(health.get("benches").and_then(Value::as_array).is_some());
+
+    let (status, body) = http(addr, "POST", "/v1/simulate", "{\"bench\": \"nope\"}");
+    assert_eq!(status, 400, "unknown bench must 400: {body}");
+    let (status, _) = http(addr, "POST", "/v1/simulate", "not json");
+    assert_eq!(status, 400);
+    let (status, _) = http(addr, "GET", "/v1/simulate", "");
+    assert_eq!(status, 404);
+    let (status, _) = http(addr, "DELETE", "/healthz", "");
+    assert_eq!(status, 405);
+    let (status, body) = http(
+        addr,
+        "POST",
+        "/v1/simulate",
+        "{\"bench\": \"compress\", \"bogus\": 1}",
+    );
+    assert_eq!(status, 400, "unknown fields must 400: {body}");
+
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_simulations_match_serial_execution() {
+    let server = Server::start(test_config()).expect("server start");
+    let addr = server.addr();
+
+    // 8 distinct keys, requested 4× each = 32 concurrent clients.
+    let mut keys = Vec::new();
+    for bench in ["compress", "eqntott"] {
+        for scheme in [
+            SchemeKind::Sequential,
+            SchemeKind::BankedSequential,
+            SchemeKind::CollapsingBuffer,
+            SchemeKind::Perfect,
+        ] {
+            keys.push(SimKey {
+                bench,
+                machine: "p14",
+                scheme,
+                variant: LayoutVariant::Natural,
+                insts: 1_200,
+            });
+        }
+    }
+
+    let serial_lab = Lab::with_threads(EXP, 1);
+    let machine = MachineModel::p14();
+    let expected: Vec<String> = keys
+        .iter()
+        .map(|key| expected_body(&serial_lab, key, &machine))
+        .collect();
+
+    let keys = Arc::new(keys);
+    let handles: Vec<_> = (0..32)
+        .map(|i| {
+            let keys = Arc::clone(&keys);
+            thread::spawn(move || {
+                let key = &keys[i % keys.len()];
+                let body = format!(
+                    "{{\"bench\": \"{}\", \"scheme\": \"{}\", \"insts\": {}}}",
+                    key.bench,
+                    key.scheme.name(),
+                    key.insts
+                );
+                (i % keys.len(), http(addr, "POST", "/v1/simulate", &body))
+            })
+        })
+        .collect();
+    for handle in handles {
+        let (key_idx, (status, body)) = handle.join().expect("client thread");
+        assert_eq!(status, 200, "simulate failed: {body}");
+        assert_eq!(
+            body, expected[key_idx],
+            "concurrent response differs from serial execution"
+        );
+    }
+
+    let m = metrics(addr);
+    assert_eq!(metric_u64(&m, "responses", "ok_200"), 32);
+    assert!(metric_u64(&m, "jobs", "completed") >= 8);
+    server.shutdown();
+}
+
+#[test]
+fn full_queue_sheds_with_429_and_coalesces_identical_work() {
+    let config = ServeConfig {
+        threads: Some(1),
+        queue_capacity: 1,
+        ..test_config()
+    };
+    let server = Server::start(config).expect("server start");
+    let addr = server.addr();
+
+    // Occupy the single worker with a long simulation.
+    let slow = thread::spawn(move || {
+        http(
+            addr,
+            "POST",
+            "/v1/simulate",
+            "{\"bench\": \"gcc\", \"insts\": 120000, \"deadline_ms\": 120000}",
+        )
+    });
+    wait_for(addr, "the slow job to start", |m| {
+        metric_u64(m, "jobs", "running") == 1
+    });
+
+    // Two identical requests: the first fills the queue's only slot, the
+    // second coalesces onto it instead of being shed.
+    let queued_body = "{\"bench\": \"compress\", \"insts\": 900, \"deadline_ms\": 120000}";
+    let queued_a = thread::spawn(move || http(addr, "POST", "/v1/simulate", queued_body));
+    wait_for(addr, "the queue slot to fill", |m| {
+        metric_u64(m, "jobs", "queue_depth") == 1
+    });
+    let queued_b = thread::spawn(move || http(addr, "POST", "/v1/simulate", queued_body));
+    wait_for(addr, "the identical request to coalesce", |m| {
+        metric_u64(m, "jobs", "coalesced") == 1
+    });
+
+    // A *distinct* request now finds the queue full and is shed.
+    let (status, body) = http(
+        addr,
+        "POST",
+        "/v1/simulate",
+        "{\"bench\": \"eqntott\", \"insts\": 900}",
+    );
+    assert_eq!(status, 429, "expected shed, got: {body}");
+    let shed = parse(&body).expect("429 body is JSON");
+    assert_eq!(
+        shed.get("error").and_then(Value::as_str),
+        Some("queue_full")
+    );
+
+    let (status, slow_body) = slow.join().expect("slow client");
+    assert_eq!(status, 200, "slow request must finish: {slow_body}");
+    let (status_a, body_a) = queued_a.join().expect("queued client a");
+    let (status_b, body_b) = queued_b.join().expect("queued client b");
+    assert_eq!((status_a, status_b), (200, 200));
+    assert_eq!(body_a, body_b, "coalesced responses must be byte-identical");
+
+    let m = metrics(addr);
+    assert_eq!(metric_u64(&m, "jobs", "shed"), 1);
+    assert_eq!(metric_u64(&m, "responses", "shed_429"), 1);
+    server.shutdown();
+}
+
+#[test]
+fn expired_deadline_answers_504_and_skips_the_queued_job() {
+    let config = ServeConfig {
+        threads: Some(1),
+        ..test_config()
+    };
+    let server = Server::start(config).expect("server start");
+    let addr = server.addr();
+
+    let slow = thread::spawn(move || {
+        http(
+            addr,
+            "POST",
+            "/v1/simulate",
+            "{\"bench\": \"gcc\", \"insts\": 120000, \"deadline_ms\": 120000}",
+        )
+    });
+    wait_for(addr, "the slow job to start", |m| {
+        metric_u64(m, "jobs", "running") == 1
+    });
+
+    // Queued behind the slow job with a deadline it cannot meet.
+    let (status, body) = http(
+        addr,
+        "POST",
+        "/v1/simulate",
+        "{\"bench\": \"li\", \"insts\": 900, \"deadline_ms\": 30}",
+    );
+    assert_eq!(status, 504, "expected deadline expiry, got: {body}");
+    let err = parse(&body).expect("504 body is JSON");
+    assert_eq!(
+        err.get("error").and_then(Value::as_str),
+        Some("deadline_exceeded")
+    );
+
+    let (status, _) = slow.join().expect("slow client");
+    assert_eq!(status, 200);
+    // With its only waiter gone, the queued job is skipped, not run.
+    wait_for(addr, "the abandoned job to be skipped", |m| {
+        metric_u64(m, "jobs", "expired") == 1
+    });
+    let m = metrics(addr);
+    assert_eq!(metric_u64(&m, "responses", "deadline_504"), 1);
+    server.shutdown();
+}
+
+#[test]
+fn repeated_sweeps_hit_the_lab_cache_and_stay_deterministic() {
+    let server = Server::start(test_config()).expect("server start");
+    let addr = server.addr();
+
+    let sweep = "{\"benches\": [\"compress\", \"eqntott\"], \
+                 \"schemes\": [\"sequential\", \"collapsing\"], \"insts\": 1100}";
+    let (status, first) = http(addr, "POST", "/v1/sweep", sweep);
+    assert_eq!(status, 200, "sweep failed: {first}");
+    let doc = parse(&first).expect("sweep body is JSON");
+    assert_eq!(doc.get("jobs").and_then(Value::as_u64), Some(4));
+    assert_eq!(
+        doc.get("results")
+            .and_then(Value::as_array)
+            .map(<[Value]>::len),
+        Some(4)
+    );
+
+    let hits_after_first = metric_u64(&metrics(addr), "lab_cache", "trace_hits");
+    let (status, second) = http(addr, "POST", "/v1/sweep", sweep);
+    assert_eq!(status, 200);
+    assert_eq!(first, second, "identical sweeps must be byte-identical");
+
+    // Every cell of the repeated sweep re-uses a cached trace.
+    let hits_after_second = metric_u64(&metrics(addr), "lab_cache", "trace_hits");
+    assert!(
+        hits_after_second >= hits_after_first + 4,
+        "repeated sweep should hit the trace cache \
+         ({hits_after_first} -> {hits_after_second})"
+    );
+
+    // Oversized grids are rejected up front.
+    let (status, body) = http(
+        addr,
+        "POST",
+        "/v1/sweep",
+        "{\"benches\": [\"compress\"], \"insts\": 0}",
+    );
+    assert_eq!(status, 400, "zero insts must 400: {body}");
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_drains_in_flight_requests() {
+    let config = ServeConfig {
+        threads: Some(1),
+        ..test_config()
+    };
+    let server = Server::start(config).expect("server start");
+    let addr = server.addr();
+
+    let inflight = thread::spawn(move || {
+        http(
+            addr,
+            "POST",
+            "/v1/simulate",
+            "{\"bench\": \"sc\", \"insts\": 60000, \"deadline_ms\": 120000}",
+        )
+    });
+    wait_for(addr, "the in-flight job to start", |m| {
+        metric_u64(m, "jobs", "running") == 1
+    });
+
+    server.shutdown();
+
+    // The in-flight request was drained, not dropped.
+    let (status, body) = inflight.join().expect("in-flight client");
+    assert_eq!(status, 200, "drained request must succeed: {body}");
+
+    // And the listener is gone: new connections are refused.
+    assert!(
+        TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err(),
+        "server should stop accepting after shutdown"
+    );
+}
