@@ -32,6 +32,12 @@ cargo run -q -p fetchmech-repro --bin fetchmech-lint -- --deny-warnings
 echo "==> fetchmech-lint sanitize (cycle-level invariants, short traces)"
 cargo run -q -p fetchmech-repro --bin fetchmech-lint -- sanitize --short
 
+echo "==> fetchmech-lint analyze (dataflow + static fetch geometry, full suite)"
+cargo run -q -p fetchmech-repro --bin fetchmech-lint -- analyze --insts 4000 --json >/dev/null
+
+echo "==> cargo doc --workspace --no-deps (warnings fatal)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
 echo "==> timing smoke: serial vs parallel runner (writes BENCH_PR3.json)"
 cargo run --release -q -p fetchmech-repro --example runner_bench
 

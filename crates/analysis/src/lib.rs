@@ -47,18 +47,27 @@
 //! assert!(!has_errors(&verify_layout(&r.program, &layout)));
 //! ```
 
+pub mod dataflow;
 pub mod diag;
 pub mod flow;
+pub mod geometry;
 pub mod hooks;
 pub mod registry;
 pub mod sanitize;
 pub mod structural;
 pub mod transform;
 
+pub use dataflow::{
+    dead_writes, liveness, local_value_numbering, reachability, solve, Analysis, DataflowPass,
+    Direction, Dominators, Facts, ReachingDefs,
+};
 pub use diag::{has_errors, report_human, Diagnostic, DiagnosticSink, Location, Severity};
+pub use geometry::{analyze_geometry, BlockGeometry, GeometryReport, SchemeGeometry};
 pub use hooks::install_debug_hooks;
 pub use registry::{Pass, Registry, Target};
-pub use sanitize::{check_scheme_dominance, CycleSanitizer, FetchEnv, SanitizeConfig};
+pub use sanitize::{
+    check_scheme_dominance, check_static_bound, CycleSanitizer, FetchEnv, SanitizeConfig,
+};
 
 use fetchmech_compiler::{Profile, Reordered, Trace, TraceSelectConfig};
 use fetchmech_isa::{Layout, Program};

@@ -122,6 +122,7 @@ impl Registry {
         r.register(Box::new(crate::transform::TracesPass));
         r.register(Box::new(crate::transform::TransformPass));
         r.register(Box::new(crate::transform::TraceDiffPass));
+        r.register(Box::new(crate::dataflow::DataflowPass::default()));
         r.register(Box::new(crate::sanitize::SanitizerCatalogPass));
         r
     }

@@ -79,6 +79,10 @@ pub const RULE_PREDICTOR: &str = "sanitize.predictor.update-accounting";
 pub const RULE_CORE_STATE: &str = "sanitize.core.state";
 /// Per-workload effective issue rates violate the paper's scheme ordering.
 pub const RULE_DOMINANCE: &str = "sanitize.dominance.scheme-order";
+/// A measured EIR exceeds the static fetch-geometry upper bound computed by
+/// [`crate::geometry::analyze_geometry`] from the program, layout, and
+/// machine model alone.
+pub const RULE_STATIC_BOUND: &str = "sanitize.static_bound";
 
 /// Every sanitizer rule id, with a one-line summary (the `sanitize --list`
 /// catalog).
@@ -139,6 +143,10 @@ pub const RULES: &[(&str, &str)] = &[
     (
         RULE_DOMINANCE,
         "EIR ordering: perfect >= collapsing >= banked/interleaved >= sequential",
+    ),
+    (
+        RULE_STATIC_BOUND,
+        "measured EIR never exceeds the static fetch-geometry upper bound",
     ),
 ];
 
@@ -803,10 +811,49 @@ pub fn check_scheme_dominance(
     diags
 }
 
+/// Floating-point slack for [`check_static_bound`]: the bound and the
+/// measurement are both short ratios of small integers, so anything beyond
+/// rounding error is a real violation.
+pub const STATIC_BOUND_TOLERANCE: f64 = 1e-9;
+
+/// Checks measured EIRs against the static fetch-geometry upper bound
+/// ([`RULE_STATIC_BOUND`]).
+///
+/// Each cell is `(scheme, measured EIR, static bound)` — the bound comes
+/// from [`crate::geometry::analyze_geometry`] over the same program,
+/// layout, and machine model the measurement ran on. The bound is sound for
+/// *any* dynamic trace of that layout (see DESIGN.md §10), so a violation
+/// is always a bug: either the simulator delivered a packet its scheme
+/// cannot form, or the geometry model mis-describes the scheme.
+#[must_use]
+pub fn check_static_bound(
+    label: &str,
+    cells: &[(SchemeKind, f64, f64)],
+    tolerance: f64,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for &(scheme, measured, bound) in cells {
+        if measured > bound + tolerance {
+            diags.push(Diagnostic {
+                rule_id: RULE_STATIC_BOUND,
+                severity: Severity::Error,
+                location: Location::Program,
+                message: format!(
+                    "{label}: {} measured EIR {measured:.3} exceeds its static \
+                     fetch-geometry bound {bound:.3}",
+                    scheme.name()
+                ),
+            });
+        }
+    }
+    diags
+}
+
 /// The registry entry documenting the sanitizer's rule family.
 ///
 /// The sanitizer is event-driven — it audits a *running simulation*, not a
-/// static artifact — so this pass applies to no [`Target`] and never runs;
+/// static artifact — so this pass applies to no [`Target`](crate::Target)
+/// and never runs;
 /// registering it gives the rules a catalog entry (`fetchmech-lint --list`)
 /// and keeps their ids inside the registry's uniqueness check.
 #[derive(Debug, Clone, Copy, Default)]
@@ -830,6 +877,7 @@ static RULE_IDS: &[&str] = &[
     RULE_PREDICTOR,
     RULE_CORE_STATE,
     RULE_DOMINANCE,
+    RULE_STATIC_BOUND,
 ];
 
 impl crate::registry::Pass for SanitizerCatalogPass {

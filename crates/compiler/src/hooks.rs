@@ -1,7 +1,7 @@
 //! Debug-build verification hooks for compiler artifacts.
 //!
 //! Mirrors `fetchmech_isa::hooks`: the analysis crate cannot be a dependency
-//! of this crate (it depends on us), so [`Profile`](crate::Profile)
+//! of this crate (it depends on us), so [`Profile`]
 //! collection, trace selection, and reordering expose process-global hook
 //! slots instead. An embedder installs verifiers once; debug builds then
 //! verify every produced artifact at its construction site. Release builds

@@ -53,7 +53,7 @@ pub use fetchmech_pipeline::scheme;
 pub use cost::{all_structures, StructureCost};
 pub use fetchmech_pipeline::scheme::{ParseSchemeError, SchemeKind};
 pub use runner::{JobQueue, QueueJob, Runner, SubmitError};
-pub use sanitize::{check_dominance, measure_eir_checked, simulate_checked};
+pub use sanitize::{check_dominance, measure_eir_checked, simulate_checked, verify_static_bound};
 pub use sim::{build_fetch_unit, simulate, SimResult};
 pub use unit::{AlignedFetchUnit, BreakdownStats, FetchConfig, FetchStats};
 

@@ -23,9 +23,11 @@
 
 use std::sync::Arc;
 
-use fetchmech_analysis::sanitize::{check_scheme_dominance, DOMINANCE_TOLERANCE};
-use fetchmech_analysis::{CycleSanitizer, Diagnostic, FetchEnv, SanitizeConfig};
-use fetchmech_isa::DynInst;
+use fetchmech_analysis::sanitize::{
+    check_scheme_dominance, check_static_bound, DOMINANCE_TOLERANCE, STATIC_BOUND_TOLERANCE,
+};
+use fetchmech_analysis::{analyze_geometry, CycleSanitizer, Diagnostic, FetchEnv, SanitizeConfig};
+use fetchmech_isa::{DynInst, Layout, Program};
 use fetchmech_pipeline::{MachineModel, TraceCursor};
 
 use crate::scheme::SchemeKind;
@@ -125,6 +127,32 @@ pub fn check_dominance(
     let eirs: Vec<(SchemeKind, f64)> = results.iter().map(|r| (r.scheme, r.eir())).collect();
     diags.extend(check_scheme_dominance(label, &eirs, DOMINANCE_TOLERANCE));
     (results, diags)
+}
+
+/// The static-bound cross-check (`sanitize.static_bound`): computes the
+/// static fetch-geometry EIR upper bound for every scheme from the program,
+/// layout, and machine alone, and checks each measured EIR against it.
+///
+/// The bound is sound for any dynamic trace of the layout (see
+/// [`fetchmech_analysis::geometry`]), so a violation always means a bug —
+/// the fetch unit delivered a packet its scheme cannot form, or the
+/// geometry model mis-describes the scheme. Pair with [`check_dominance`]:
+/// dominance relates schemes to each other, the static bound anchors each
+/// of them to first principles.
+#[must_use]
+pub fn verify_static_bound(
+    machine: &MachineModel,
+    label: &str,
+    program: &Program,
+    layout: &Layout,
+    eirs: &[EirResult],
+) -> Vec<Diagnostic> {
+    let report = analyze_geometry(program, layout, machine);
+    let cells: Vec<(SchemeKind, f64, f64)> = eirs
+        .iter()
+        .map(|r| (r.scheme, r.eir(), report.scheme(r.scheme).eir_bound))
+        .collect();
+    check_static_bound(label, &cells, STATIC_BOUND_TOLERANCE)
 }
 
 /// Panics with a rendered report if `diags` contains errors — the behaviour

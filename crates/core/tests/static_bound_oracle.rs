@@ -1,0 +1,166 @@
+//! Differential oracle for the static fetch-geometry EIR bound: for every
+//! (workload, scheme, layout) cell of the EXPERIMENTS.md grid, the EIR the
+//! cycle simulator measures must never exceed the bound
+//! `fetchmech_analysis::geometry` derives from the program + layout +
+//! machine alone (`sanitize.static_bound`).
+//!
+//! The companion mutation tests corrupt the geometry model and check the
+//! rule actually fires — the oracle would be vacuous if the bound were
+//! simply "infinite".
+
+use fetchmech::experiments::{ExpConfig, Lab, LayoutVariant};
+use fetchmech::sanitize::{measure_eir_checked, verify_static_bound};
+use fetchmech::sim::EirResult;
+use fetchmech::SchemeKind;
+use fetchmech_analysis::analyze_geometry;
+use fetchmech_analysis::sanitize::{check_static_bound, RULE_STATIC_BOUND};
+use fetchmech_pipeline::MachineModel;
+use fetchmech_workloads::suite;
+
+/// Short traces keep the debug-build sanitizer affordable; the bound is
+/// sound for any length, so short traces lose no checking power.
+fn lab() -> Lab {
+    Lab::new(ExpConfig {
+        trace_len: 6_000,
+        profile_len: 10_000,
+    })
+}
+
+fn measure_cells(
+    lab: &Lab,
+    machine: &MachineModel,
+    bench: &'static str,
+    variant: LayoutVariant,
+) -> Vec<EirResult> {
+    let trace = lab.test_trace(bench, variant, machine.block_bytes);
+    SchemeKind::ALL
+        .into_iter()
+        .map(|scheme| {
+            let (r, diags) = measure_eir_checked(machine, scheme, &trace);
+            assert!(
+                !fetchmech_analysis::has_errors(&diags),
+                "{bench}/{variant:?}/{scheme}: sanitizer errors:\n{}",
+                fetchmech_analysis::report_human(&diags)
+            );
+            r
+        })
+        .collect()
+}
+
+/// Every cell of the full grid at P14: measured EIR <= static bound.
+#[test]
+fn p14_full_grid_respects_static_bound() {
+    let lab = lab();
+    let machine = MachineModel::p14();
+    for &bench in suite::INT_NAMES.iter().chain(suite::FP_NAMES.iter()) {
+        for variant in LayoutVariant::ALL {
+            let workload = lab.workload(bench, variant);
+            let layout = lab.layout(bench, variant, machine.block_bytes);
+            let eirs = measure_cells(&lab, &machine, bench, variant);
+            let diags = verify_static_bound(
+                &machine,
+                &format!("{bench}/{variant:?}"),
+                &workload.program,
+                &layout,
+                &eirs,
+            );
+            assert!(
+                diags.is_empty(),
+                "{bench}/{variant:?}: static bound violated:\n{}",
+                fetchmech_analysis::report_human(&diags)
+            );
+        }
+    }
+}
+
+/// Spot checks at the wider machines: the bound scales with issue rate,
+/// block size, and speculation depth.
+#[test]
+fn wider_machines_respect_static_bound() {
+    let lab = lab();
+    for machine in [MachineModel::p18(), MachineModel::p112()] {
+        for bench in ["compress", "gcc", "tomcatv"] {
+            for variant in [LayoutVariant::Natural, LayoutVariant::PadTrace] {
+                let workload = lab.workload(bench, variant);
+                let layout = lab.layout(bench, variant, machine.block_bytes);
+                let eirs = measure_cells(&lab, &machine, bench, variant);
+                let diags = verify_static_bound(
+                    &machine,
+                    &format!("{bench}/{variant:?}"),
+                    &workload.program,
+                    &layout,
+                    &eirs,
+                );
+                assert!(
+                    diags.is_empty(),
+                    "{}/{bench}/{variant:?}: static bound violated:\n{}",
+                    machine.name,
+                    fetchmech_analysis::report_human(&diags)
+                );
+            }
+        }
+    }
+}
+
+/// Mutation: a geometry model that under-reports the bound (here: scaled to
+/// a quarter) must be caught by `sanitize.static_bound` for every scheme
+/// that actually delivers — the oracle is not vacuous.
+#[test]
+fn mutation_scaled_down_bound_fires_static_bound_rule() {
+    let lab = lab();
+    let machine = MachineModel::p14();
+    let layout = lab.layout("compress", LayoutVariant::Natural, machine.block_bytes);
+    let workload = lab.workload("compress", LayoutVariant::Natural);
+    let eirs = measure_cells(&lab, &machine, "compress", LayoutVariant::Natural);
+
+    let report = analyze_geometry(&workload.program, &layout, &machine);
+    let cells: Vec<(SchemeKind, f64, f64)> = eirs
+        .iter()
+        .map(|r| {
+            let bound = report.scheme(r.scheme).eir_bound / 4.0;
+            (r.scheme, r.eir(), bound)
+        })
+        .collect();
+    let diags = check_static_bound("compress[mutated]", &cells, 1e-9);
+    // Every scheme sustains EIR > bound/4 = 1.0 on this workload.
+    assert_eq!(
+        diags.len(),
+        SchemeKind::ALL.len(),
+        "expected every scheme to trip the scaled-down bound:\n{}",
+        fetchmech_analysis::report_human(&diags)
+    );
+    assert!(diags.iter().all(|d| d.rule_id == RULE_STATIC_BOUND));
+}
+
+/// Mutation: a fetch unit that over-delivers (here: measured EIRs inflated
+/// past the bound) is caught, and only by the static-bound rule.
+#[test]
+fn mutation_inflated_measurement_fires_static_bound_rule() {
+    let lab = lab();
+    let machine = MachineModel::p14();
+    let layout = lab.layout("eqntott", LayoutVariant::Natural, machine.block_bytes);
+    let workload = lab.workload("eqntott", LayoutVariant::Natural);
+    let report = analyze_geometry(&workload.program, &layout, &machine);
+
+    let cells: Vec<(SchemeKind, f64, f64)> = SchemeKind::ALL
+        .into_iter()
+        .map(|s| {
+            let bound = report.scheme(s).eir_bound;
+            (s, bound + 0.5, bound) // "delivered half an instruction per
+                                    // cycle more than physically possible"
+        })
+        .collect();
+    let diags = check_static_bound("eqntott[mutated]", &cells, 1e-9);
+    assert_eq!(diags.len(), SchemeKind::ALL.len());
+    assert!(diags.iter().all(|d| d.rule_id == RULE_STATIC_BOUND));
+
+    // And the unmutated cells stay clean (negative control).
+    let clean: Vec<(SchemeKind, f64, f64)> = SchemeKind::ALL
+        .into_iter()
+        .map(|s| {
+            let bound = report.scheme(s).eir_bound;
+            (s, bound, bound)
+        })
+        .collect();
+    assert!(check_static_bound("eqntott[clean]", &clean, 1e-9).is_empty());
+}

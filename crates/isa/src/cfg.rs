@@ -457,6 +457,124 @@ impl Program {
     }
 }
 
+/// Dense successor/predecessor adjacency over a [`Program`]'s CFG.
+///
+/// [`Program::predecessors`] answers one-off queries through a `HashMap`;
+/// analyses that traverse the graph repeatedly (the dataflow solver, the
+/// dominator builder) want `O(1)` indexed edge lists instead. A view is a
+/// snapshot: it does not borrow the program, and edits made through
+/// [`Program::with_terminators`] require building a fresh view.
+///
+/// Two edge flavours exist:
+///
+/// * [`CfgView::local`] — intra-procedural: `Call` contributes only its
+///   `CallFall` edge to `return_to`. This is the graph dominators and
+///   liveness run on.
+/// * [`CfgView::interprocedural`] — additionally records `Call → callee`
+///   edges, so reachability from the program entry covers callee bodies.
+///
+/// Successor lists are deduplicated (a conditional branch whose taken and
+/// fall targets coincide contributes one edge).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CfgView {
+    succs: Vec<Vec<BlockId>>,
+    preds: Vec<Vec<BlockId>>,
+}
+
+impl CfgView {
+    /// Builds the intra-procedural view (`Call` edges go to the return
+    /// block only).
+    #[must_use]
+    pub fn local(program: &Program) -> Self {
+        Self::build(program, false)
+    }
+
+    /// Builds the inter-procedural view (`Call` edges additionally reach the
+    /// callee entry).
+    #[must_use]
+    pub fn interprocedural(program: &Program) -> Self {
+        Self::build(program, true)
+    }
+
+    fn build(program: &Program, call_edges: bool) -> Self {
+        let n = program.num_blocks();
+        let mut succs: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        let mut preds: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        let add = |succs: &mut Vec<Vec<BlockId>>,
+                   preds: &mut Vec<Vec<BlockId>>,
+                   from: BlockId,
+                   to: BlockId| {
+            if (to.0 as usize) < n && !succs[from.0 as usize].contains(&to) {
+                succs[from.0 as usize].push(to);
+                preds[to.0 as usize].push(from);
+            }
+        };
+        for b in program.blocks() {
+            for (_, succ) in b.terminator.local_successors() {
+                add(&mut succs, &mut preds, b.id, succ);
+            }
+            if call_edges {
+                if let Terminator::Call { callee, .. } = b.terminator {
+                    add(&mut succs, &mut preds, b.id, callee);
+                }
+            }
+        }
+        Self { succs, preds }
+    }
+
+    /// Number of blocks in the underlying program.
+    #[must_use]
+    pub fn num_blocks(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Successors of `block`, deduplicated, in terminator order.
+    #[must_use]
+    pub fn successors(&self, block: BlockId) -> &[BlockId] {
+        &self.succs[block.0 as usize]
+    }
+
+    /// Predecessors of `block`, deduplicated, in block-id-discovery order.
+    #[must_use]
+    pub fn predecessors(&self, block: BlockId) -> &[BlockId] {
+        &self.preds[block.0 as usize]
+    }
+
+    /// Blocks reachable from `entry` along this view's edges, in
+    /// reverse postorder (every edge `a → b` with `b` not an ancestor of `a`
+    /// puts `a` before `b`; the classic iteration order for forward
+    /// dataflow).
+    #[must_use]
+    pub fn reverse_postorder(&self, entry: BlockId) -> Vec<BlockId> {
+        let n = self.num_blocks();
+        if (entry.0 as usize) >= n {
+            return Vec::new();
+        }
+        let mut visited = vec![false; n];
+        let mut order = Vec::new();
+        // Iterative DFS with an explicit "children pending" frame so the
+        // postorder append happens after all successors are finished.
+        let mut stack: Vec<(BlockId, usize)> = vec![(entry, 0)];
+        visited[entry.0 as usize] = true;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            let succs = self.successors(b);
+            if *next < succs.len() {
+                let s = succs[*next];
+                *next += 1;
+                if !visited[s.0 as usize] {
+                    visited[s.0 as usize] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                order.push(b);
+                stack.pop();
+            }
+        }
+        order.reverse();
+        order
+    }
+}
+
 /// The raw, unvalidated parts of a [`Program`].
 ///
 /// Produced by [`Program::into_raw`] and consumed by [`Program::from_raw`];
@@ -730,6 +848,83 @@ mod tests {
         assert_eq!(p.num_branches(), 1);
         assert_eq!(p.entry(), BlockId(0));
         assert_eq!(p.func_entries(), &[BlockId(0)]);
+    }
+
+    #[test]
+    fn cfg_view_edges_match_terminators() {
+        let p = two_block_program();
+        let v = CfgView::local(&p);
+        assert_eq!(v.num_blocks(), 2);
+        // head: cond branch taken->head, fall->exit.
+        assert_eq!(v.successors(BlockId(0)), &[BlockId(0), BlockId(1)]);
+        assert_eq!(v.successors(BlockId(1)), &[] as &[BlockId]);
+        assert_eq!(v.predecessors(BlockId(0)), &[BlockId(0)]);
+        assert_eq!(v.predecessors(BlockId(1)), &[BlockId(0)]);
+    }
+
+    #[test]
+    fn cfg_view_deduplicates_coincident_edges() {
+        let mut b = ProgramBuilder::new();
+        let f = b.begin_func();
+        let head = b.new_block(f);
+        let exit = b.new_block(f);
+        b.set_cond_branch(head, [None, None], exit, exit);
+        b.set_terminator(exit, Terminator::Halt);
+        b.set_entry(head);
+        let p = b.finish().expect("valid");
+        let v = CfgView::local(&p);
+        assert_eq!(v.successors(BlockId(0)), &[BlockId(1)]);
+        assert_eq!(v.predecessors(BlockId(1)), &[BlockId(0)]);
+    }
+
+    #[test]
+    fn interprocedural_view_reaches_callees() {
+        let mut b = ProgramBuilder::new();
+        let f0 = b.begin_func();
+        let f1 = b.begin_func();
+        let a = b.new_block(f0);
+        let ret = b.new_block(f0);
+        let callee = b.new_block(f1);
+        b.set_terminator(
+            a,
+            Terminator::Call {
+                callee,
+                return_to: ret,
+            },
+        );
+        b.set_terminator(ret, Terminator::Halt);
+        b.set_terminator(callee, Terminator::Return);
+        b.set_entry(a);
+        let p = b.finish().expect("valid");
+        let local = CfgView::local(&p);
+        assert_eq!(local.successors(a), &[ret]);
+        let inter = CfgView::interprocedural(&p);
+        assert_eq!(inter.successors(a), &[ret, callee]);
+        assert_eq!(inter.predecessors(callee), &[a]);
+    }
+
+    #[test]
+    fn reverse_postorder_visits_parents_first() {
+        // Diamond: 0 -> {1, 2} -> 3.
+        let mut b = ProgramBuilder::new();
+        let f = b.begin_func();
+        let top = b.new_block(f);
+        let left = b.new_block(f);
+        let right = b.new_block(f);
+        let join = b.new_block(f);
+        b.set_cond_branch(top, [None, None], left, right);
+        b.set_terminator(left, Terminator::Jump { target: join });
+        b.set_terminator(right, Terminator::Jump { target: join });
+        b.set_terminator(join, Terminator::Halt);
+        b.set_entry(top);
+        let p = b.finish().expect("valid");
+        let rpo = CfgView::local(&p).reverse_postorder(top);
+        assert_eq!(rpo.len(), 4);
+        assert_eq!(rpo[0], top);
+        assert_eq!(rpo[3], join);
+        let pos = |b: BlockId| rpo.iter().position(|&x| x == b).expect("in order");
+        assert!(pos(top) < pos(left) && pos(top) < pos(right));
+        assert!(pos(left) < pos(join) && pos(right) < pos(join));
     }
 
     #[test]

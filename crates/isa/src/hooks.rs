@@ -5,7 +5,7 @@
 //! directly. Instead they expose process-global hook slots: an embedder (the
 //! analysis crate's `install_debug_hooks`, the experiment harness, or a test)
 //! installs function pointers once, and every subsequently constructed
-//! [`Program`](crate::Program) or [`Layout`](crate::Layout) is handed to them
+//! [`Program`] or [`Layout`] is handed to them
 //! — in debug builds only. Release builds skip the calls entirely.
 //!
 //! A hook returns `Err(report)` to reject the artifact; the constructor then

@@ -59,7 +59,7 @@ pub mod trace_io;
 
 pub use addr::{Addr, WORD_BYTES};
 pub use cfg::{
-    Block, BlockId, BranchId, EdgeKind, FuncId, Inst, Program, ProgramBuilder, RawProgram,
+    Block, BlockId, BranchId, CfgView, EdgeKind, FuncId, Inst, Program, ProgramBuilder, RawProgram,
     Terminator, ValidateError,
 };
 pub use encode::{decode, disasm, encode, encode_image, DecodeError, Decoded, EncodeError};

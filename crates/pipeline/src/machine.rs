@@ -158,6 +158,43 @@ impl MachineModel {
         }
     }
 
+    /// Maximum conditional branches a single packet can contain with no
+    /// unresolved branches in flight: fetch admits an instruction while
+    /// `unresolved + conds_in_packet <= spec_depth`, so the packet holds up
+    /// to `spec_depth + 1` conditionals (the last one ends it).
+    #[must_use]
+    pub fn max_packet_conds(&self) -> u32 {
+        self.spec_depth + 1
+    }
+
+    /// Number of cache blocks a run of `insts` instructions starting at
+    /// `start` touches (zero-length runs touch none).
+    #[must_use]
+    pub fn lines_spanned(&self, start: fetchmech_isa::Addr, insts: u64) -> u64 {
+        if insts == 0 {
+            return 0;
+        }
+        let last = start.add_words(insts - 1);
+        last.block_index(self.block_bytes) - start.block_index(self.block_bytes) + 1
+    }
+
+    /// Maximum instructions `scheme` can deliver in one cycle on a
+    /// straight-line (taken-branch-free, all-hit) run starting `offset_words`
+    /// into a cache block: the bandwidth cap, limited by one block for
+    /// sequential and by an aligned pair for the two-bank schemes (on a
+    /// straight-line run the banked schemes' predicted successor is the next
+    /// sequential block, whose bank parity always differs).
+    #[must_use]
+    pub fn straight_line_packet(&self, scheme: crate::SchemeKind, offset_words: u64) -> u32 {
+        let w = u64::from(self.insts_per_block());
+        let avail = match scheme.max_packet_blocks() {
+            Some(1) => w - offset_words % w,
+            Some(_) => 2 * w - offset_words % w,
+            None => u64::from(self.issue_rate),
+        };
+        avail.min(u64::from(self.issue_rate)) as u32
+    }
+
     /// Returns this model with a different fetch misprediction penalty
     /// (used by the Figure 11 shifter-implementation study).
     #[must_use]

@@ -66,6 +66,50 @@ impl SchemeKind {
             _ => 2,
         }
     }
+
+    /// Maximum distinct cache blocks one packet may touch: `Some(1)` for
+    /// the one-block sequential scheme, `Some(2)` for the paired schemes,
+    /// `None` (unbounded) for the perfect front end.
+    #[must_use]
+    pub fn max_packet_blocks(self) -> Option<u32> {
+        match self {
+            SchemeKind::Sequential => Some(1),
+            SchemeKind::InterleavedSequential
+            | SchemeKind::BankedSequential
+            | SchemeKind::CollapsingBuffer => Some(2),
+            SchemeKind::Perfect => None,
+        }
+    }
+
+    /// Whether the second fetched block is the BTB-predicted successor
+    /// (banked/collapsing) rather than the forced next-sequential block
+    /// (interleaved) or nothing at all.
+    #[must_use]
+    pub fn predicts_second_block(self) -> bool {
+        matches!(
+            self,
+            SchemeKind::BankedSequential | SchemeKind::CollapsingBuffer
+        )
+    }
+
+    /// Whether delivery may continue past a correctly-predicted taken
+    /// *inter-block* transfer within one cycle (at most once per cycle for
+    /// the banked schemes; without limit for perfect).
+    #[must_use]
+    pub fn crosses_taken(self) -> bool {
+        matches!(
+            self,
+            SchemeKind::BankedSequential | SchemeKind::CollapsingBuffer | SchemeKind::Perfect
+        )
+    }
+
+    /// Whether delivery may continue past a correctly-predicted taken
+    /// *forward intra-block* transfer, squeezing out the gap (the
+    /// collapsing buffer's contribution; perfect subsumes it).
+    #[must_use]
+    pub fn collapses_forward(self) -> bool {
+        matches!(self, SchemeKind::CollapsingBuffer | SchemeKind::Perfect)
+    }
 }
 
 impl fmt::Display for SchemeKind {

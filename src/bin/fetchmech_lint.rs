@@ -7,9 +7,27 @@
 //!   BENCHMARK           suite benchmark names (default: the full suite)
 //!   --json              emit diagnostics as a JSON array
 //!   --pass NAME         run only the named pass (repeatable)
+//!   --disable RULE      drop findings of one rule id (repeatable)
 //!   --insts N           profiling/diff instruction budget (default 20000)
 //!   --deny-warnings     exit nonzero on warnings too
-//!   --list-passes       print the registered passes and their rules
+//!   --list, --list-passes
+//!                       print the registered passes and their rules
+//!   --help              print this help
+//!
+//! fetchmech-lint analyze [OPTIONS] [BENCHMARK...]
+//!
+//!   BENCHMARK           suite benchmark names (default: the full suite)
+//!   --machine NAME      p14 | p18 | p112 (default p14)
+//!   --layout KIND       natural | pad-all | reordered | pad-trace
+//!                       (default natural)
+//!   --analysis NAME     reach | dom | live | reachdef | lvn | geometry
+//!                       (repeatable; default: all)
+//!   --measured          also measure per-scheme EIR and check it against
+//!                       the static bound (sanitize.static_bound)
+//!   --insts N           profile/measurement budget (default 20000)
+//!   --threads N         worker threads for the per-benchmark fan-out
+//!   --json              emit one JSON object per benchmark (array)
+//!   --list              print the analysis catalog
 //!   --help              print this help
 //!
 //! fetchmech-lint sanitize [OPTIONS] [BENCHMARK...]
@@ -42,14 +60,17 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use fetchmech::compiler::{layout_pad_all, reorder, select_traces, Profile, TraceSelectConfig};
-use fetchmech::isa::{DynInst, Layout, LayoutOptions};
-use fetchmech::json::diagnostics_json;
+use fetchmech::isa::{BlockId, CfgView, DynInst, Layout, LayoutOptions};
+use fetchmech::json::{diagnostics_json, Value};
 use fetchmech::pipeline::MachineModel;
 use fetchmech::runner::Runner;
-use fetchmech::workloads::{suite, InputId};
+use fetchmech::workloads::{suite, InputId, Workload};
 use fetchmech::SchemeKind;
 use fetchmech_analysis::sanitize::{self_test, RULES};
-use fetchmech_analysis::{report_human, Diagnostic, Registry, SanitizeConfig, Severity, Target};
+use fetchmech_analysis::{
+    analyze_geometry, dataflow, report_human, Diagnostic, DiagnosticSink, Registry, SanitizeConfig,
+    Severity, Target,
+};
 
 const BLOCK_BYTES: u64 = 16;
 
@@ -57,13 +78,14 @@ struct Options {
     benchmarks: Vec<String>,
     json: bool,
     passes: Vec<String>,
+    disabled: Vec<String>,
     insts: u64,
     deny_warnings: bool,
 }
 
 fn usage() -> &'static str {
-    "usage: fetchmech-lint [--json] [--pass NAME]... [--insts N] \
-     [--deny-warnings] [--list-passes] [BENCHMARK...]"
+    "usage: fetchmech-lint [--json] [--pass NAME]... [--disable RULE]... \
+     [--insts N] [--deny-warnings] [--list] [BENCHMARK...]"
 }
 
 fn list_passes() {
@@ -81,6 +103,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         benchmarks: Vec::new(),
         json: false,
         passes: Vec::new(),
+        disabled: Vec::new(),
         insts: 20_000,
         deny_warnings: false,
     };
@@ -89,13 +112,17 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         match arg.as_str() {
             "--json" => opts.json = true,
             "--deny-warnings" => opts.deny_warnings = true,
-            "--list-passes" => {
+            "--list" | "--list-passes" => {
                 list_passes();
                 return Ok(None);
             }
             "--pass" => {
                 let name = it.next().ok_or("--pass needs a pass name")?;
                 opts.passes.push(name.clone());
+            }
+            "--disable" => {
+                let rule = it.next().ok_or("--disable needs a rule id")?;
+                opts.disabled.push(rule.clone());
             }
             "--insts" => {
                 let n = it.next().ok_or("--insts needs a count")?;
@@ -184,7 +211,450 @@ fn lint_benchmark(
     for target in &targets {
         diags.extend(registry.run_filtered(target, keep));
     }
+    diags.retain(|d| !opts.disabled.iter().any(|r| r == d.rule_id));
     Ok(diags)
+}
+
+// ---------------------------------------------------------------------------
+// The `analyze` subcommand: static dataflow + fetch-geometry analysis.
+// ---------------------------------------------------------------------------
+
+/// The analysis catalog: selector name plus a one-line summary
+/// (`analyze --list`).
+const ANALYSES: &[(&str, &str)] = &[
+    (
+        "reach",
+        "CFG reachability, plus the unreachable-block / profile-flow / trace-seed lints",
+    ),
+    (
+        "dom",
+        "per-function dominator trees (Cooper-Harvey-Kennedy)",
+    ),
+    (
+        "live",
+        "backward register liveness, plus the dead-write advisory lint",
+    ),
+    ("reachdef", "reaching definitions at every block boundary"),
+    (
+        "lvn",
+        "local value numbering: redundant pure computations per block",
+    ),
+    (
+        "geometry",
+        "static fetch geometry and per-scheme EIR upper bounds",
+    ),
+];
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum LayoutKind {
+    Natural,
+    PadAll,
+    Reordered,
+    PadTrace,
+}
+
+impl LayoutKind {
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "natural" => Some(Self::Natural),
+            "pad-all" => Some(Self::PadAll),
+            "reordered" => Some(Self::Reordered),
+            "pad-trace" => Some(Self::PadTrace),
+            _ => None,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Self::Natural => "natural",
+            Self::PadAll => "pad-all",
+            Self::Reordered => "reordered",
+            Self::PadTrace => "pad-trace",
+        }
+    }
+
+    fn needs_reorder(self) -> bool {
+        matches!(self, Self::Reordered | Self::PadTrace)
+    }
+}
+
+struct AnalyzeOptions {
+    benchmarks: Vec<String>,
+    machine: MachineModel,
+    layout: LayoutKind,
+    analyses: Vec<String>,
+    measured: bool,
+    insts: u64,
+    threads: Option<usize>,
+    json: bool,
+}
+
+impl AnalyzeOptions {
+    fn wants(&self, analysis: &str) -> bool {
+        self.analyses.iter().any(|a| a == analysis)
+    }
+}
+
+fn analyze_usage() -> &'static str {
+    "usage: fetchmech-lint analyze [--machine p14|p18|p112] \
+     [--layout natural|pad-all|reordered|pad-trace] [--analysis NAME]... \
+     [--measured] [--insts N] [--threads N] [--json] [--list] [BENCHMARK...]"
+}
+
+fn list_analyses() {
+    for (name, summary) in ANALYSES {
+        println!("{name}: {summary}");
+    }
+}
+
+fn parse_analyze_args(args: &[String]) -> Result<Option<AnalyzeOptions>, String> {
+    let mut opts = AnalyzeOptions {
+        benchmarks: Vec::new(),
+        machine: MachineModel::p14(),
+        layout: LayoutKind::Natural,
+        analyses: Vec::new(),
+        measured: false,
+        insts: 20_000,
+        threads: None,
+        json: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--measured" => opts.measured = true,
+            "--list" => {
+                list_analyses();
+                return Ok(None);
+            }
+            "--machine" => {
+                let name = it.next().ok_or("--machine needs a model name")?;
+                opts.machine = MachineModel::by_name(name)
+                    .ok_or_else(|| format!("unknown machine model {name}"))?;
+            }
+            "--layout" => {
+                let kind = it.next().ok_or("--layout needs a layout kind")?;
+                opts.layout =
+                    LayoutKind::parse(kind).ok_or_else(|| format!("unknown layout kind {kind}"))?;
+            }
+            "--analysis" => {
+                let name = it.next().ok_or("--analysis needs an analysis name")?;
+                if !ANALYSES.iter().any(|(a, _)| a == name) {
+                    return Err(format!("unknown analysis {name} (see analyze --list)"));
+                }
+                opts.analyses.push(name.clone());
+            }
+            "--insts" => {
+                let n = it.next().ok_or("--insts needs a count")?;
+                opts.insts = n.parse().map_err(|_| format!("bad --insts value {n}"))?;
+            }
+            "--threads" => {
+                let n = it.next().ok_or("--threads needs a count")?;
+                opts.threads = Some(n.parse().map_err(|_| format!("bad --threads value {n}"))?);
+            }
+            "--help" | "-h" => {
+                println!("{}", analyze_usage());
+                return Ok(None);
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option {other}"));
+            }
+            name => opts.benchmarks.push(name.to_string()),
+        }
+    }
+    if opts.analyses.is_empty() {
+        opts.analyses = ANALYSES.iter().map(|(a, _)| (*a).to_string()).collect();
+    }
+    if opts.benchmarks.is_empty() {
+        opts.benchmarks = suite::INT_NAMES
+            .iter()
+            .chain(suite::FP_NAMES.iter())
+            .map(ToString::to_string)
+            .collect();
+    }
+    Ok(Some(opts))
+}
+
+struct AnalyzeReport {
+    human: String,
+    json: Value,
+    diags: Vec<Diagnostic>,
+}
+
+#[allow(clippy::too_many_lines)] // one linear section per analysis selector
+fn analyze_benchmark(name: &str, opts: &AnalyzeOptions) -> Result<AnalyzeReport, String> {
+    let w = suite::benchmark(name).ok_or_else(|| format!("unknown benchmark {name}"))?;
+    let block_bytes = opts.machine.block_bytes;
+    let config = TraceSelectConfig::default();
+    // A profile feeds both the reordered layout variants and the
+    // profile-flow / trace-seed lints under `reach`.
+    let profile = (opts.wants("reach") || opts.layout.needs_reorder())
+        .then(|| Profile::collect(&w, &InputId::PROFILE, opts.insts));
+    let reordered = opts
+        .layout
+        .needs_reorder()
+        .then(|| reorder(&w.program, profile.as_ref().expect("profile"), &config));
+    let program = reordered.as_ref().map_or(&w.program, |r| &r.program);
+    let layout = match opts.layout {
+        LayoutKind::Natural => Layout::natural(program, LayoutOptions::new(block_bytes)),
+        LayoutKind::PadAll => layout_pad_all(program, block_bytes),
+        LayoutKind::Reordered => reordered.as_ref().expect("reordered").layout(block_bytes),
+        LayoutKind::PadTrace => reordered
+            .as_ref()
+            .expect("reordered")
+            .layout_pad_trace(block_bytes),
+    }
+    .map_err(|e| format!("{name}: {} layout failed: {e}", opts.layout.name()))?;
+
+    let mut human = format!("{name} [{}, {}]:\n", opts.machine.name, opts.layout.name());
+    let mut fields: Vec<(&str, Value)> = vec![
+        ("benchmark", Value::Str(name.to_string())),
+        ("machine", Value::Str(opts.machine.name.to_string())),
+        ("layout", Value::Str(opts.layout.name().to_string())),
+    ];
+    let mut sink = DiagnosticSink::new();
+    let mut extra: Vec<Diagnostic> = Vec::new();
+    let num_blocks = program.num_blocks();
+
+    if opts.wants("reach") {
+        let reach = dataflow::reachability(program);
+        let reachable = reach.iter().filter(|&&r| r).count();
+        human += &format!("  reach: {reachable}/{} blocks reachable\n", reach.len());
+        fields.push((
+            "reach",
+            Value::object([
+                ("reachable", Value::Uint(reachable as u64)),
+                ("blocks", Value::Uint(reach.len() as u64)),
+            ]),
+        ));
+        dataflow::check_unreachable(program, &mut sink);
+        if let Some(profile) = &profile {
+            dataflow::check_profile_reachability(program, profile, &mut sink);
+            let traces = select_traces(program, profile, &config);
+            dataflow::check_trace_seeds(program, &traces, &mut sink);
+        }
+    }
+
+    if opts.wants("dom") {
+        let view = CfgView::local(program);
+        let dom = dataflow::Dominators::compute(program, &view);
+        let max_depth = (0..num_blocks)
+            .map(|i| dom.depth(BlockId(i as u32)))
+            .max()
+            .unwrap_or(0);
+        let funcs = program.func_entries().len();
+        human += &format!("  dom: {funcs} function(s), max dominator depth {max_depth}\n");
+        fields.push((
+            "dom",
+            Value::object([
+                ("functions", Value::Uint(funcs as u64)),
+                ("max_depth", Value::Uint(max_depth as u64)),
+            ]),
+        ));
+    }
+
+    if opts.wants("live") {
+        let view = CfgView::local(program);
+        let live = dataflow::liveness(program, &view);
+        let mean_live = live
+            .entry
+            .iter()
+            .map(|m| f64::from(m.count_ones()))
+            .sum::<f64>()
+            / live.entry.len().max(1) as f64;
+        let dead = dataflow::dead_writes(program, &view, &live);
+        human += &format!(
+            "  live: mean {mean_live:.1} live-in regs, {} dead write(s)\n",
+            dead.len()
+        );
+        fields.push((
+            "live",
+            Value::object([
+                ("mean_live_in", Value::Num(mean_live)),
+                ("dead_writes", Value::Uint(dead.len() as u64)),
+            ]),
+        ));
+        dataflow::check_dead_writes(program, &mut sink);
+    }
+
+    if opts.wants("reachdef") {
+        let view = CfgView::local(program);
+        let defs = dataflow::ReachingDefs::compute(program, &view);
+        let mean = (0..num_blocks)
+            .map(|i| defs.reaching_count(BlockId(i as u32)) as f64)
+            .sum::<f64>()
+            / num_blocks.max(1) as f64;
+        human += &format!(
+            "  reachdef: {} def site(s), mean {mean:.1} reaching per block\n",
+            defs.defs.len()
+        );
+        fields.push((
+            "reachdef",
+            Value::object([
+                ("def_sites", Value::Uint(defs.defs.len() as u64)),
+                ("mean_reaching", Value::Num(mean)),
+            ]),
+        ));
+    }
+
+    if opts.wants("lvn") {
+        let redundant = dataflow::redundant_computations(program);
+        human += &format!("  lvn: {redundant} redundant pure computation(s)\n");
+        fields.push((
+            "lvn",
+            Value::object([("redundant", Value::Uint(redundant as u64))]),
+        ));
+    }
+
+    if opts.wants("geometry") {
+        let report = analyze_geometry(program, &layout, &opts.machine);
+        human += &format!(
+            "  geometry: {} laid block(s), {} cache-line straddle(s)\n",
+            report.blocks.len(),
+            report.total_straddles()
+        );
+        let mut schemes = Vec::new();
+        for sg in &report.schemes {
+            human += &format!(
+                "    {:<12} bound {:.2}  entry-packet {:.2}  taken-breaks {}  align-breaks {}\n",
+                sg.scheme.name(),
+                sg.eir_bound,
+                sg.mean_entry_packet,
+                sg.taken_breaks,
+                sg.align_breaks
+            );
+            schemes.push(Value::object([
+                ("scheme", Value::Str(sg.scheme.name().to_string())),
+                ("eir_bound", Value::Num(sg.eir_bound)),
+                ("mean_entry_packet", Value::Num(sg.mean_entry_packet)),
+                ("taken_breaks", Value::Uint(sg.taken_breaks)),
+                ("align_breaks", Value::Uint(sg.align_breaks)),
+            ]));
+        }
+        fields.push((
+            "geometry",
+            Value::object([
+                ("straddles", Value::Uint(report.total_straddles())),
+                ("schemes", Value::Array(schemes)),
+            ]),
+        ));
+
+        if opts.measured {
+            // Execute the workload against this layout and check every
+            // measured EIR against its static upper bound.
+            let exec_w;
+            let exec = if let Some(r) = &reordered {
+                exec_w = Workload {
+                    spec: w.spec.clone(),
+                    program: r.program.clone(),
+                    behaviors: w.behaviors.clone(),
+                };
+                &exec_w
+            } else {
+                &w
+            };
+            let trace: Arc<[DynInst]> = exec
+                .executor(&layout, InputId::TEST, opts.insts)
+                .collect::<Vec<_>>()
+                .into();
+            let mut eirs = Vec::new();
+            let mut measured = Vec::new();
+            for scheme in SchemeKind::ALL {
+                let (r, d) =
+                    fetchmech::sanitize::measure_eir_checked(&opts.machine, scheme, &trace);
+                extra.extend(d);
+                human += &format!(
+                    "    measured {:<12} EIR {:.3} (bound {:.3})\n",
+                    scheme.name(),
+                    r.eir(),
+                    report.scheme(scheme).eir_bound
+                );
+                measured.push(Value::object([
+                    ("scheme", Value::Str(scheme.name().to_string())),
+                    ("eir", Value::Num(r.eir())),
+                    ("eir_bound", Value::Num(report.scheme(scheme).eir_bound)),
+                ]));
+                eirs.push(r);
+            }
+            extra.extend(fetchmech::sanitize::verify_static_bound(
+                &opts.machine,
+                name,
+                program,
+                &layout,
+                &eirs,
+            ));
+            fields.push(("measured", Value::Array(measured)));
+        }
+    }
+
+    let mut diags = sink.into_diagnostics();
+    diags.extend(extra);
+    fields.push((
+        "diagnostics",
+        Value::Array(
+            diags
+                .iter()
+                .map(|d| {
+                    Value::object([
+                        ("rule_id", Value::Str(d.rule_id.to_string())),
+                        ("severity", Value::Str(d.severity.to_string())),
+                        ("location", Value::Str(d.location.to_string())),
+                        ("message", Value::Str(d.message.clone())),
+                    ])
+                })
+                .collect(),
+        ),
+    ));
+    Ok(AnalyzeReport {
+        human,
+        json: Value::object(fields),
+        diags,
+    })
+}
+
+fn analyze_main(args: &[String]) -> ExitCode {
+    let opts = match parse_analyze_args(args) {
+        Ok(Some(opts)) => opts,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fetchmech-lint: {e}");
+            eprintln!("{}", analyze_usage());
+            return ExitCode::from(2);
+        }
+    };
+    // Benchmarks are independent: fan out, then report in suite order.
+    let runner = Runner::from_flag_or_env(opts.threads);
+    let results = runner.run(&opts.benchmarks, |name| analyze_benchmark(name, &opts));
+    let mut objects = Vec::new();
+    let mut failed = false;
+    let mut any_error = false;
+    for result in results {
+        match result {
+            Ok(report) => {
+                any_error |= fetchmech_analysis::has_errors(&report.diags);
+                if opts.json {
+                    objects.push(report.json);
+                } else {
+                    print!("{}", report.human);
+                    if !report.diags.is_empty() {
+                        print!("{}", report_human(&report.diags));
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("fetchmech-lint: {e}");
+                failed = true;
+            }
+        }
+    }
+    if opts.json {
+        println!("{}", Value::Array(objects).pretty());
+    }
+    if failed || any_error {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -306,7 +776,12 @@ fn sanitize_benchmark(name: &str, opts: &SanOptions) -> Result<Vec<Diagnostic>, 
     }
     // Fetch-only differential harness + cross-scheme dominance, sharing the
     // same zero-copy trace.
-    let (_eirs, d) = fetchmech::sanitize::check_dominance(&opts.machine, name, &trace);
+    let (eirs, d) = fetchmech::sanitize::check_dominance(&opts.machine, name, &trace);
+    diags.extend(d.into_iter().filter(|d| opts.keeps(d.rule_id)));
+    // Static fetch-geometry upper bound: the measured EIRs must stay under
+    // what the program + layout + machine alone permit.
+    let d =
+        fetchmech::sanitize::verify_static_bound(&opts.machine, name, &w.program, &layout, &eirs);
     diags.extend(d.into_iter().filter(|d| opts.keeps(d.rule_id)));
     Ok(diags)
 }
@@ -382,6 +857,9 @@ fn main() -> ExitCode {
     if args.first().map(String::as_str) == Some("sanitize") {
         return sanitize_main(&args[1..]);
     }
+    if args.first().map(String::as_str) == Some("analyze") {
+        return analyze_main(&args[1..]);
+    }
     let opts = match parse_args(&args) {
         Ok(Some(opts)) => opts,
         Ok(None) => return ExitCode::SUCCESS,
@@ -396,6 +874,16 @@ fn main() -> ExitCode {
     for name in &opts.passes {
         if !registry.passes().iter().any(|p| p.name() == name) {
             eprintln!("fetchmech-lint: unknown pass {name} (see --list-passes)");
+            return ExitCode::from(2);
+        }
+    }
+    for rule in &opts.disabled {
+        let known = registry
+            .passes()
+            .iter()
+            .any(|p| p.rules().iter().any(|r| r == rule));
+        if !known {
+            eprintln!("fetchmech-lint: unknown rule {rule} (see --list)");
             return ExitCode::from(2);
         }
     }
