@@ -70,4 +70,17 @@ grep -q "drained, bye" "$serve_log" || {
 }
 rm -f "$serve_log"
 
+echo "==> chaos: seeded fault matrix + kill-and-recover (writes BENCH_PR7.json)"
+# The store/fault tests run the full matrix in-process; store_crash spawns
+# the real binary, SIGKILLs it mid-operation, and verifies recovery. The
+# fixed seed makes every injected-fault schedule replayable.
+FETCHMECH_FAULT_SEED=20260808 cargo test --release -q -p fetchmech-repro \
+    --test store_faults --test store_crash --test runner_queue
+if [ ! -s BENCH_PR7.json ]; then
+    echo "chaos stage did not produce BENCH_PR7.json" >&2
+    exit 1
+fi
+echo "chaos stats:"
+cat BENCH_PR7.json
+
 echo "CI checks passed."

@@ -288,6 +288,10 @@ struct QueueShared<J> {
     work: Condvar,
     /// Wakes [`JobQueue::drain`] when the queue goes quiescent.
     idle: Condvar,
+    /// Jobs whose `run`/`skip` panicked. The worker survives (the panic is
+    /// caught, counted, and logged), so one bad job can never leak the
+    /// `running` count and hang [`JobQueue::drain`].
+    panics: std::sync::atomic::AtomicU64,
 }
 
 /// A bounded multi-producer job queue with a fixed worker pool — the
@@ -329,6 +333,7 @@ impl<J: QueueJob> JobQueue<J> {
             capacity: capacity.max(1),
             work: Condvar::new(),
             idle: Condvar::new(),
+            panics: std::sync::atomic::AtomicU64::new(0),
         });
         let workers = (0..runner.threads())
             .map(|i| {
@@ -397,6 +402,13 @@ impl<J: QueueJob> JobQueue<J> {
         self.workers.len()
     }
 
+    /// Jobs whose `run`/`skip` panicked on a worker (the workers survive;
+    /// see the worker loop's panic guard).
+    #[must_use]
+    pub fn panics(&self) -> u64 {
+        self.shared.panics.load(Ordering::Relaxed)
+    }
+
     /// Closes admissions: subsequent [`try_submit`](JobQueue::try_submit)
     /// calls fail with [`SubmitError::Closed`], while already-admitted jobs
     /// keep draining.
@@ -426,7 +438,9 @@ impl<J: QueueJob> JobQueue<J> {
     ///
     /// # Panics
     ///
-    /// Propagates a panic from any worker (mirroring [`Runner::run`]).
+    /// Propagates a panic from a worker thread itself. Job panics are caught
+    /// by the worker's guard and surface via [`panics`](JobQueue::panics)
+    /// instead — a service must outlive its worst request.
     pub fn shutdown(mut self) {
         self.close();
         for worker in self.workers.drain(..) {
@@ -461,11 +475,21 @@ fn worker_loop<J: QueueJob>(shared: &QueueShared<J>) {
                 state = shared.work.wait(state).expect("queue lock poisoned");
             }
         };
-        // The cooperative cancellation point: between jobs, never mid-run.
-        if job.cancelled() {
-            job.skip();
-        } else {
-            job.run();
+        // Guard the job body: an unwinding job must not kill the worker or
+        // leak the `running` count (which would wedge `drain` forever).
+        // Panics are counted and logged; the queue keeps serving.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // The cooperative cancellation point: between jobs, never
+            // mid-run.
+            if job.cancelled() {
+                job.skip();
+            } else {
+                job.run();
+            }
+        }));
+        if outcome.is_err() {
+            shared.panics.fetch_add(1, Ordering::Relaxed);
+            eprintln!("warning: a queued job panicked; the worker survives (see JobQueue::panics)");
         }
         let mut state = shared.state.lock().expect("queue lock poisoned");
         state.running -= 1;

@@ -16,7 +16,19 @@ use fetchmech::json::{parse, Value};
 
 const CLIENTS: usize = 32;
 
-fn request(addr: &str, method: &str, path: &str, body: &str) -> Result<(u16, String), String> {
+/// Retry policy for shed responses (429/503): capped exponential backoff
+/// with deterministic jitter, honoring the server's `Retry-After` hint.
+const MAX_ATTEMPTS: u32 = 6;
+const BACKOFF_BASE_MS: u64 = 50;
+const BACKOFF_CAP_MS: u64 = 2_000;
+
+/// One raw HTTP exchange; returns `(status, body, retry_after_secs)`.
+fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> Result<(u16, String, Option<u64>), String> {
     let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
     stream
         .set_read_timeout(Some(Duration::from_secs(120)))
@@ -42,11 +54,66 @@ fn request(addr: &str, method: &str, path: &str, body: &str) -> Result<(u16, Str
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| "malformed status line".to_string())?;
-    Ok((status, body.to_string()))
+    let retry_after = head.lines().find_map(|line| {
+        let (name, value) = line.split_once(':')?;
+        name.eq_ignore_ascii_case("retry-after")
+            .then(|| value.trim().parse().ok())?
+    });
+    Ok((status, body.to_string(), retry_after))
+}
+
+/// Deterministic jitter in `[0, spread)` from an FNV-1a hash of the request
+/// identity and attempt — replayable, yet de-synchronized across clients.
+fn jitter_ms(tag: &str, attempt: u32, spread: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in tag.as_bytes().iter().chain(&attempt.to_le_bytes()) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    if spread == 0 {
+        0
+    } else {
+        h % spread
+    }
+}
+
+/// The shed-aware request loop: 429/503 responses are retried with capped
+/// exponential backoff + deterministic jitter, preferring the server's
+/// `Retry-After` hint when present. Everything else returns immediately.
+fn request_with_retry(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> Result<(u16, String), String> {
+    let mut last = None;
+    for attempt in 0..MAX_ATTEMPTS {
+        let (status, resp, retry_after) = request(addr, method, path, body)?;
+        if status != 429 && status != 503 {
+            return Ok((status, resp));
+        }
+        last = Some((status, resp));
+        if attempt + 1 == MAX_ATTEMPTS {
+            break;
+        }
+        let exp = BACKOFF_BASE_MS
+            .saturating_mul(1 << attempt)
+            .min(BACKOFF_CAP_MS);
+        let hinted = retry_after.map(|secs| (secs.saturating_mul(1000)).min(BACKOFF_CAP_MS));
+        let base = hinted.unwrap_or(exp);
+        let sleep = base + jitter_ms(&format!("{method} {path} {body}"), attempt, exp.max(1));
+        eprintln!(
+            "serve_client: {method} {path} shed with {status} \
+             (attempt {attempt}, backing off {sleep} ms)"
+        );
+        std::thread::sleep(Duration::from_millis(sleep));
+    }
+    let (status, resp) = last.expect("at least one attempt");
+    Ok((status, resp))
 }
 
 fn check(addr: &str, method: &str, path: &str, body: &str) -> (u16, String) {
-    match request(addr, method, path, body) {
+    match request_with_retry(addr, method, path, body) {
         Ok(resp) => resp,
         Err(e) => {
             eprintln!("serve_client: {method} {path}: {e}");

@@ -11,6 +11,8 @@
 //!   --deadline-ms N     default per-request deadline (default 30000)
 //!   --insts N           default trace length per request (default 20000)
 //!   --max-insts N       largest accepted trace length (default 500000)
+//!   --store PATH        persist results to this append-only log; hits are
+//!                       served from it across restarts
 //!   --quick             size the lab for CI (short profile/reorder traces)
 //!   --help              print this help
 //! ```
@@ -18,6 +20,11 @@
 //! Endpoints: `POST /v1/simulate`, `POST /v1/sweep`, `GET /healthz`,
 //! `GET /metrics`. The process runs until SIGINT/SIGTERM, then drains
 //! in-flight work before exiting.
+//!
+//! Deterministic fault injection (chaos testing) is driven by environment:
+//! `FETCHMECH_FAULTS=store_write=0.2,store_short_write=0.3,store_sync=0.1,sim_panic=0.05`
+//! enables the listed fault classes and `FETCHMECH_FAULT_SEED=N` makes the
+//! schedule replayable. See `fetchmech_repro::store::fault`.
 
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -52,7 +59,7 @@ fn install_signal_handlers() {
 
 fn usage() -> &'static str {
     "usage: fetchmech-serve [--addr HOST:PORT] [--threads N] [--queue N] \
-     [--deadline-ms N] [--insts N] [--max-insts N] [--quick]"
+     [--deadline-ms N] [--insts N] [--max-insts N] [--store PATH] [--quick]"
 }
 
 fn parse_args(args: &[String]) -> Result<Option<ServeConfig>, String> {
@@ -91,6 +98,10 @@ fn parse_args(args: &[String]) -> Result<Option<ServeConfig>, String> {
                     .parse()
                     .map_err(|_| format!("bad --max-insts value {n}"))?;
             }
+            "--store" => {
+                let path = it.next().ok_or("--store needs a PATH")?;
+                config.store_path = Some(path.into());
+            }
             "--quick" => config.exp = ExpConfig::quick(),
             "--help" | "-h" => {
                 println!("{}", usage());
@@ -104,7 +115,7 @@ fn parse_args(args: &[String]) -> Result<Option<ServeConfig>, String> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let config = match parse_args(&args) {
+    let mut config = match parse_args(&args) {
         Ok(Some(config)) => config,
         Ok(None) => return ExitCode::SUCCESS,
         Err(e) => {
@@ -113,6 +124,10 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    config.fault = fetchmech_repro::store::FaultPlan::from_env();
+    if let Some(plan) = &config.fault {
+        eprintln!("fetchmech-serve: deterministic fault injection ACTIVE (seed {:#x}); not for production", plan.seed);
+    }
 
     let server = match Server::start(config) {
         Ok(server) => server,

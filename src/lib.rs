@@ -11,5 +11,6 @@
 #![warn(missing_docs)]
 
 pub mod serve;
+pub mod store;
 
 pub use fetchmech::*;

@@ -361,9 +361,11 @@ pub fn sim_result_json(key: &SimKey, result: &SimResult) -> Value {
 }
 
 /// The `/healthz` body: liveness plus the vocabulary clients need to build
-/// requests.
+/// requests. `store_state` is the persistence tier's health — `"disabled"`
+/// (no store configured), `"active"`, or `"degraded"` (persistence failed;
+/// serving from memory).
 #[must_use]
-pub fn healthz_json() -> Value {
+pub fn healthz_json(store_state: &str) -> Value {
     let benches: Vec<Value> = suite::INT_NAMES
         .iter()
         .chain(suite::FP_NAMES.iter())
@@ -384,6 +386,7 @@ pub fn healthz_json() -> Value {
     .collect();
     Value::object([
         ("status", Value::Str("ok".to_string())),
+        ("store", Value::Str(store_state.to_string())),
         ("benches", Value::Array(benches)),
         (
             "machines",

@@ -12,6 +12,7 @@
 //! passed) is skipped by the queue's between-jobs cancellation check.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
@@ -19,7 +20,9 @@ use fetchmech::experiments::{Lab, LayoutVariant, TraceKey};
 use fetchmech::pipeline::MachineModel;
 use fetchmech::runner::{JobQueue, QueueJob, SubmitError};
 use fetchmech::workloads::InputId;
-use fetchmech::{simulate, SchemeKind, SimResult};
+use fetchmech::{simulate, SchemeKind};
+
+use crate::store::{FaultPlan, Store};
 
 use super::metrics::Metrics;
 
@@ -40,15 +43,37 @@ pub struct SimKey {
     pub insts: u64,
 }
 
+impl SimKey {
+    /// The canonical store key: a stable, human-greppable string identity.
+    /// Every field participates, so two keys collide only when their
+    /// responses are byte-identical anyway.
+    #[must_use]
+    pub fn store_key(&self) -> String {
+        format!(
+            "{}|{}|{}|{}|{}",
+            self.bench,
+            self.machine,
+            self.scheme.name(),
+            self.variant.name(),
+            self.insts
+        )
+    }
+}
+
 /// How a unit simulation ended.
 #[derive(Debug, Clone)]
 pub enum Outcome {
-    /// The simulation ran; here is its result.
-    Done(Box<SimResult>),
+    /// The simulation ran; here is its fully-rendered response body (the
+    /// single rendering shared by the HTTP response, every coalesced
+    /// waiter, and the persistent store — which is what makes "byte
+    /// identical across restarts" a structural property rather than a
+    /// re-rendering promise).
+    Done(Arc<String>),
     /// The job was skipped: every waiter detached or the deadline passed
     /// before a worker reached it.
     Expired,
-    /// The simulation panicked (a server bug, reported as 500).
+    /// The simulation panicked. Carries only the opaque error reference id;
+    /// the payload was logged server-side.
     Failed(String),
 }
 
@@ -134,19 +159,48 @@ pub struct EngineShared {
     pub lab: Arc<Lab>,
     /// All metrics counters.
     pub metrics: Arc<Metrics>,
+    /// The crash-safe result store, when persistence is configured.
+    pub store: Option<Arc<Store>>,
+    /// Engine-side fault schedule (deterministic `sim_panic` injection);
+    /// `None` in production.
+    pub fault: Option<FaultPlan>,
+    /// Monotonic source of opaque error reference ids (`err-000001`, …).
+    error_seq: AtomicU64,
     /// In-flight (queued or running) jobs, by key — the coalescing table.
     inflight: Mutex<HashMap<SimKey, Arc<SimCell>>>,
 }
 
 impl EngineShared {
-    /// Creates the shared state around an existing lab.
+    /// Creates the shared state around an existing lab, with no persistence
+    /// and no fault injection.
     #[must_use]
     pub fn new(lab: Arc<Lab>, metrics: Arc<Metrics>) -> Self {
+        Self::with_store(lab, metrics, None, None)
+    }
+
+    /// Creates the shared state with an optional persistent store and an
+    /// optional engine-side fault schedule.
+    #[must_use]
+    pub fn with_store(
+        lab: Arc<Lab>,
+        metrics: Arc<Metrics>,
+        store: Option<Arc<Store>>,
+        fault: Option<FaultPlan>,
+    ) -> Self {
         Self {
             lab,
             metrics,
+            store,
+            fault,
+            error_seq: AtomicU64::new(0),
             inflight: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Mints the next opaque error reference id.
+    fn next_error_id(&self) -> String {
+        let n = self.error_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        format!("err-{n:06}")
     }
 
     /// Removes `cell` from the in-flight table (only if the table still maps
@@ -246,7 +300,16 @@ impl QueueJob for SimJob {
         let lab = Arc::clone(&self.shared.lab);
         let key = self.key;
         let machine = self.machine.clone();
+        let store_key = key.store_key();
+        let inject_panic = self
+            .shared
+            .fault
+            .as_ref()
+            .is_some_and(|plan| plan.rolls_sim_panic(&store_key));
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            if inject_panic {
+                panic!("injected fault: sim_panic (deterministic, seeded)");
+            }
             let trace = lab.trace(TraceKey {
                 bench: key.bench,
                 variant: key.variant,
@@ -259,16 +322,30 @@ impl QueueJob for SimJob {
         let metrics = &self.shared.metrics;
         let outcome = match outcome {
             Ok(result) => {
-                metrics
-                    .jobs_completed
-                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                Outcome::Done(Box::new(result))
+                metrics.jobs_completed.fetch_add(1, Ordering::Relaxed);
+                // Render once; this exact string is the response body, the
+                // coalesced waiters' body, and the store record.
+                let body = Arc::new(super::api::sim_result_json(&key, &result).pretty());
+                if let Some(store) = &self.shared.store {
+                    store.persist(store_key, &body);
+                }
+                Outcome::Done(body)
             }
-            Err(_) => {
-                metrics
-                    .jobs_failed
-                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                Outcome::Failed(format!("simulation panicked for {:?}", self.key))
+            Err(payload) => {
+                metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
+                // Log the details server-side; clients get only the opaque
+                // reference id (internal panic payloads can leak paths,
+                // assertions, and other implementation detail).
+                let id = self.shared.next_error_id();
+                let detail: &str = if let Some(s) = payload.downcast_ref::<&str>() {
+                    s
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s
+                } else {
+                    "non-string panic payload"
+                };
+                eprintln!("fetchmech-serve: [{id}] simulation panicked for {key:?}: {detail}");
+                Outcome::Failed(id)
             }
         };
         // Leave the coalescing table first so late identical requests start

@@ -132,6 +132,9 @@ pub struct Response {
     /// Rendered JSON body (without the trailing newline; one is added on the
     /// wire for terminal friendliness).
     pub body: String,
+    /// When set, a `Retry-After: <secs>` header — attached to 429/503 shed
+    /// responses so well-behaved clients back off instead of hammering.
+    pub retry_after: Option<u64>,
 }
 
 impl Response {
@@ -141,6 +144,18 @@ impl Response {
         Self {
             status,
             body: value.pretty(),
+            retry_after: None,
+        }
+    }
+
+    /// A 200 response around an already-rendered JSON body (the store's
+    /// byte-identical replay path — no re-rendering).
+    #[must_use]
+    pub fn raw_json(status: u16, body: String) -> Self {
+        Self {
+            status,
+            body,
+            retry_after: None,
         }
     }
 
@@ -156,6 +171,13 @@ impl Response {
         )
     }
 
+    /// Attaches a `Retry-After` hint (whole seconds).
+    #[must_use]
+    pub fn with_retry_after(mut self, secs: u64) -> Self {
+        self.retry_after = Some(secs);
+        self
+    }
+
     /// Serializes the response (status line, JSON headers,
     /// `Connection: close`, body + newline) onto the stream.
     ///
@@ -163,11 +185,16 @@ impl Response {
     ///
     /// Propagates socket write errors; the caller just drops the connection.
     pub fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        let retry = match self.retry_after {
+            Some(secs) => format!("Retry-After: {secs}\r\n"),
+            None => String::new(),
+        };
         let head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{}Connection: close\r\n\r\n",
             self.status,
             reason(self.status),
             self.body.len() + 1,
+            retry,
         );
         stream.write_all(head.as_bytes())?;
         stream.write_all(self.body.as_bytes())?;

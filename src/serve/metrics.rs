@@ -105,9 +105,13 @@ impl Metrics {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Renders the counters (plus the queue gauges and lab-cache stats the
-    /// caller samples) as the `/metrics` JSON document.
+    /// Renders the counters (plus the queue gauges, worker-panic count,
+    /// store stats, and lab-cache stats the caller samples) as the
+    /// `/metrics` JSON document. `store` is the persistence tier's section
+    /// (typically [`crate::store::Store::to_json`], or a
+    /// `{"state": "disabled"}` stub when no store is configured).
     #[must_use]
+    #[allow(clippy::too_many_arguments)]
     pub fn to_json(
         &self,
         uptime: Duration,
@@ -115,6 +119,8 @@ impl Metrics {
         queue_capacity: usize,
         jobs_running: usize,
         workers: usize,
+        worker_panics: u64,
+        store: &Value,
         lab_cache: &Value,
     ) -> Value {
         let load = |c: &AtomicU64| Value::Uint(c.load(Ordering::Relaxed));
@@ -179,8 +185,10 @@ impl Metrics {
                     ("queue_capacity", Value::Uint(queue_capacity as u64)),
                     ("running", Value::Uint(jobs_running as u64)),
                     ("workers", Value::Uint(workers as u64)),
+                    ("worker_panics", Value::Uint(worker_panics)),
                 ]),
             ),
+            ("store", store.clone()),
             (
                 "latency",
                 Value::object([

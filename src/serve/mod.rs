@@ -25,6 +25,7 @@ pub mod metrics;
 
 use std::io::ErrorKind;
 use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
@@ -33,6 +34,8 @@ use std::time::{Duration, Instant};
 use fetchmech::experiments::{ExpConfig, Lab};
 use fetchmech::json::Value;
 use fetchmech::runner::{JobQueue, Runner};
+
+use crate::store::{FaultPlan, NoFault, Store};
 
 use api::Limits;
 use engine::{EngineShared, Outcome, Shed, SimJob, WaitResult};
@@ -66,6 +69,21 @@ pub struct ServeConfig {
     /// How long [`Server::shutdown`] waits for open connections to finish
     /// before abandoning them.
     pub drain_timeout: Duration,
+    /// When set, results persist to this append-only store log and survive
+    /// restarts; `None` keeps the service purely in-memory.
+    pub store_path: Option<PathBuf>,
+    /// Bounded backlog of the store's write-behind channel; overflow drops
+    /// persists (never blocks the request path).
+    pub store_queue: usize,
+    /// Deterministic fault schedule (store I/O + worker panics); `None` in
+    /// production.
+    pub fault: Option<FaultPlan>,
+    /// Per-connection socket read timeout, so a slow-loris client cannot
+    /// pin a connection thread.
+    pub read_timeout: Duration,
+    /// Per-connection socket write timeout, so a half-closed or unread
+    /// client cannot pin a connection thread.
+    pub write_timeout: Duration,
 }
 
 impl Default for ServeConfig {
@@ -81,6 +99,11 @@ impl Default for ServeConfig {
             max_insts: 500_000,
             exp: ExpConfig::full(),
             drain_timeout: Duration::from_secs(30),
+            store_path: None,
+            store_queue: 256,
+            fault: None,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
         }
     }
 }
@@ -152,12 +175,24 @@ pub struct Server {
     drain_timeout: Duration,
 }
 
+/// Accept-time knobs shared by every connection.
+#[derive(Debug, Clone, Copy)]
+struct ConnOptions {
+    limits: Limits,
+    read_timeout: Duration,
+    write_timeout: Duration,
+    /// The store was configured but failed to open at boot: the service
+    /// runs, but `/healthz` reports the persistence tier as degraded.
+    store_boot_failed: bool,
+}
+
 /// Per-connection context handed to the handler threads.
 #[derive(Debug)]
 struct Handler {
     shared: Arc<EngineShared>,
     queue: Arc<JobQueue<SimJob>>,
     limits: Limits,
+    store_boot_failed: bool,
     started: Instant,
 }
 
@@ -177,12 +212,57 @@ impl Server {
         let queue = Arc::new(JobQueue::start(runner, config.queue_capacity));
         let metrics = Arc::new(Metrics::new());
         let lab = Arc::new(Lab::with_runner(config.exp, runner));
-        let shared = Arc::new(EngineShared::new(lab, Arc::clone(&metrics)));
+
+        // A store that cannot open must not kill the service: run without
+        // persistence and surface the degradation via /healthz instead.
+        let mut store_boot_failed = false;
+        let store = match &config.store_path {
+            None => None,
+            Some(path) => {
+                let fault: Arc<dyn crate::store::IoFault> = match &config.fault {
+                    Some(plan) => Arc::new(*plan),
+                    None => Arc::new(NoFault),
+                };
+                match Store::open(path.clone(), fault, config.store_queue) {
+                    Ok(store) => {
+                        let report = store.recovery();
+                        eprintln!(
+                            "fetchmech-serve: store {} recovered {} records ({} keys, {} torn bytes truncated)",
+                            path.display(),
+                            report.records,
+                            report.keys,
+                            report.truncated_bytes,
+                        );
+                        Some(Arc::new(store))
+                    }
+                    Err(e) => {
+                        eprintln!(
+                            "fetchmech-serve: cannot open store {} ({e}); continuing without persistence",
+                            path.display(),
+                        );
+                        store_boot_failed = true;
+                        None
+                    }
+                }
+            }
+        };
+        let shared = Arc::new(EngineShared::with_store(
+            lab,
+            Arc::clone(&metrics),
+            store,
+            config.fault,
+        ));
         let limits = Limits {
             default_insts: config.default_insts,
             max_insts: config.max_insts,
             default_deadline_ms: config.default_deadline_ms,
             max_deadline_ms: config.max_deadline_ms,
+        };
+        let options = ConnOptions {
+            limits,
+            read_timeout: config.read_timeout,
+            write_timeout: config.write_timeout,
+            store_boot_failed,
         };
 
         let stop = Arc::new(AtomicBool::new(false));
@@ -201,7 +281,7 @@ impl Server {
                     &accept_conns,
                     &accept_shared,
                     &accept_queue,
-                    limits,
+                    options,
                 );
             })
             .expect("failed to spawn accept thread");
@@ -229,9 +309,15 @@ impl Server {
         Arc::clone(&self.shared.metrics)
     }
 
+    /// The persistent store, when one is configured (exposed for tests).
+    #[must_use]
+    pub fn store(&self) -> Option<Arc<crate::store::Store>> {
+        self.shared.store.clone()
+    }
+
     /// Graceful shutdown: stop accepting, wait for open connections (up to
-    /// the configured drain timeout), then close the job queue and drain any
-    /// queued work.
+    /// the configured drain timeout), then close the job queue, drain any
+    /// queued work, and flush the store's persistence backlog.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::SeqCst);
         if let Some(handle) = self.accept_thread.take() {
@@ -240,6 +326,9 @@ impl Server {
         self.conns.drain(self.drain_timeout);
         self.queue.close();
         self.queue.drain();
+        if let Some(store) = &self.shared.store {
+            store.shutdown();
+        }
     }
 }
 
@@ -259,14 +348,14 @@ fn accept_loop(
     conns: &Arc<ConnTracker>,
     shared: &Arc<EngineShared>,
     queue: &Arc<JobQueue<SimJob>>,
-    limits: Limits,
+    options: ConnOptions,
 ) {
     let started = Instant::now();
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
-                let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-                let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+                let _ = stream.set_read_timeout(Some(options.read_timeout));
+                let _ = stream.set_write_timeout(Some(options.write_timeout));
                 if !conns.try_acquire() {
                     refuse_saturated(stream, shared);
                     continue;
@@ -274,7 +363,8 @@ fn accept_loop(
                 let handler = Handler {
                     shared: Arc::clone(shared),
                     queue: Arc::clone(queue),
-                    limits,
+                    limits: options.limits,
+                    store_boot_failed: options.store_boot_failed,
                     started,
                 };
                 let thread_conns = Arc::clone(conns);
@@ -303,7 +393,8 @@ fn refuse_saturated(mut stream: TcpStream, shared: &Arc<EngineShared>) {
         .metrics
         .resp_unavailable
         .fetch_add(1, Ordering::Relaxed);
-    let resp = Response::error(503, "saturated", "connection limit reached; retry shortly");
+    let resp = Response::error(503, "saturated", "connection limit reached; retry shortly")
+        .with_retry_after(1);
     let _ = resp.write_to(&mut stream);
 }
 
@@ -339,7 +430,7 @@ impl Handler {
         match (request.method.as_str(), request.path.as_str()) {
             ("GET", "/healthz") => {
                 metrics.req_healthz.fetch_add(1, Ordering::Relaxed);
-                Response::json(200, &api::healthz_json())
+                Response::json(200, &api::healthz_json(self.store_state()))
             }
             ("GET", "/metrics") => {
                 metrics.req_metrics.fetch_add(1, Ordering::Relaxed);
@@ -374,15 +465,39 @@ impl Handler {
         }
     }
 
+    /// The persistence tier's health, as reported by `/healthz`.
+    fn store_state(&self) -> &'static str {
+        match &self.shared.store {
+            Some(store) if store.is_degraded() => "degraded",
+            Some(_) => "active",
+            None if self.store_boot_failed => "degraded",
+            None => "disabled",
+        }
+    }
+
     fn metrics_json(&self) -> Value {
         let lab_cache = self.shared.lab.cache_stats().to_json();
+        let store = match &self.shared.store {
+            Some(store) => store.to_json(),
+            None => Value::object([("state", Value::Str(self.store_state().to_string()))]),
+        };
         self.shared.metrics.to_json(
             self.started.elapsed(),
             self.queue.depth(),
             self.queue.capacity(),
             self.queue.running(),
             self.queue.workers(),
+            self.queue.panics(),
+            &store,
             &lab_cache,
+        )
+    }
+
+    fn internal_error(reference: &str) -> Response {
+        Response::error(
+            500,
+            "internal",
+            format!("internal error; reference {reference}"),
         )
     }
 
@@ -391,23 +506,28 @@ impl Handler {
             Ok(req) => req,
             Err(why) => return Response::error(400, "invalid_request", why),
         };
+        // Durable results never touch the queue: a store hit is an index
+        // lookup + one read, byte-identical to the original 200.
+        if let Some(store) = &self.shared.store {
+            if let Some(body) = store.lookup(&req.key.store_key()) {
+                return Response::raw_json(200, body);
+            }
+        }
         let deadline = Instant::now() + Duration::from_millis(req.deadline_ms);
         let cell = match engine::submit(&self.shared, &self.queue, req.key, req.machine, deadline) {
             Ok(cell) => cell,
             Err(shed) => return shed_response(shed),
         };
         match cell.wait(deadline) {
-            WaitResult::Finished(Outcome::Done(result)) => {
-                Response::json(200, &api::sim_result_json(&req.key, &result))
+            WaitResult::Finished(Outcome::Done(body)) => {
+                Response::raw_json(200, body.as_ref().clone())
             }
             WaitResult::Finished(Outcome::Expired) | WaitResult::TimedOut => Response::error(
                 504,
                 "deadline_exceeded",
                 format!("deadline of {} ms expired", req.deadline_ms),
             ),
-            WaitResult::Finished(Outcome::Failed(why)) => {
-                Response::error(500, "simulation_failed", why)
-            }
+            WaitResult::Finished(Outcome::Failed(reference)) => Self::internal_error(&reference),
         }
     }
 
@@ -418,15 +538,36 @@ impl Handler {
         };
         let deadline = Instant::now() + Duration::from_millis(req.deadline_ms);
 
-        // Phase 1: admit (or coalesce) the whole grid up front so identical
-        // cells coalesce against each other; if any cell is refused, detach
-        // everything already attached and shed the sweep as a unit.
-        let mut cells = Vec::with_capacity(req.cells.len());
-        for (key, machine) in &req.cells {
+        // Phase 0: resolve durable cells from the store. Stored bodies are
+        // reparsed into values (the JSON layer's render∘parse fixed-point
+        // property keeps the final rendering byte-identical); a body that
+        // fails to parse is treated as a miss and recomputed.
+        let mut cached: Vec<Option<Value>> = match &self.shared.store {
+            Some(store) => req
+                .cells
+                .iter()
+                .map(|(key, _)| {
+                    store
+                        .lookup(&key.store_key())
+                        .and_then(|body| fetchmech::json::parse(&body).ok())
+                })
+                .collect(),
+            None => vec![None; req.cells.len()],
+        };
+
+        // Phase 1: admit (or coalesce) every non-durable cell up front so
+        // identical cells coalesce against each other; if any cell is
+        // refused, detach everything already attached and shed the sweep as
+        // a unit.
+        let mut cells: Vec<Option<Arc<engine::SimCell>>> = vec![None; req.cells.len()];
+        for (i, (key, machine)) in req.cells.iter().enumerate() {
+            if cached[i].is_some() {
+                continue;
+            }
             match engine::submit(&self.shared, &self.queue, *key, machine.clone(), deadline) {
-                Ok(cell) => cells.push(cell),
+                Ok(cell) => cells[i] = Some(cell),
                 Err(shed) => {
-                    for cell in &cells {
+                    for cell in cells.iter().flatten() {
                         cell.detach();
                     }
                     return shed_response(shed);
@@ -435,16 +576,22 @@ impl Handler {
         }
 
         // Phase 2: collect in deterministic grid order.
-        let mut results = Vec::with_capacity(cells.len());
-        for ((key, _), cell) in req.cells.iter().zip(&cells) {
+        let mut results = Vec::with_capacity(req.cells.len());
+        for i in 0..req.cells.len() {
+            if let Some(value) = cached[i].take() {
+                results.push(value);
+                continue;
+            }
+            let cell = cells[i].as_ref().expect("cell for non-cached slot");
             match cell.wait(deadline) {
-                WaitResult::Finished(Outcome::Done(result)) => {
-                    results.push(api::sim_result_json(key, &result));
-                }
+                WaitResult::Finished(Outcome::Done(body)) => match fetchmech::json::parse(&body) {
+                    Ok(value) => results.push(value),
+                    Err(_) => return Self::internal_error("unrenderable result"),
+                },
                 WaitResult::Finished(Outcome::Expired) | WaitResult::TimedOut => {
                     // Later cells share the same deadline: detach them so
                     // their queued jobs can be skipped, then report 504.
-                    for later in &cells[results.len() + 1..] {
+                    for later in cells[i + 1..].iter().flatten() {
                         later.detach();
                     }
                     return Response::error(
@@ -458,11 +605,11 @@ impl Handler {
                         ),
                     );
                 }
-                WaitResult::Finished(Outcome::Failed(why)) => {
-                    for later in &cells[results.len() + 1..] {
+                WaitResult::Finished(Outcome::Failed(reference)) => {
+                    for later in cells[i + 1..].iter().flatten() {
                         later.detach();
                     }
-                    return Response::error(500, "simulation_failed", why);
+                    return Self::internal_error(&reference);
                 }
             }
         }
@@ -480,7 +627,10 @@ fn shed_response(shed: Shed) -> Response {
     match shed {
         Shed::QueueFull => {
             Response::error(429, "queue_full", "job queue is full; retry with backoff")
+                .with_retry_after(1)
         }
-        Shed::Closed => Response::error(503, "shutting_down", "service is draining"),
+        Shed::Closed => {
+            Response::error(503, "shutting_down", "service is draining").with_retry_after(2)
+        }
     }
 }

@@ -1,0 +1,241 @@
+//! Race-focused integration tests for `fetchmech::runner::JobQueue`: the
+//! shutdown/cancel edges the serve layer depends on. Every test is
+//! deterministic in its *assertions* (exact accounting, bounded waits) even
+//! where thread interleavings vary.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use fetchmech::runner::{JobQueue, QueueJob, Runner, SubmitError};
+
+/// A counting job: records whether it ran or was skipped, optionally
+/// sleeping or panicking first.
+#[derive(Debug)]
+struct Job {
+    id: usize,
+    cancel: Arc<AtomicBool>,
+    ran: Arc<Mutex<Vec<usize>>>,
+    skipped: Arc<Mutex<Vec<usize>>>,
+    delay: Duration,
+    panic: bool,
+}
+
+impl QueueJob for Job {
+    fn run(self) {
+        if !self.delay.is_zero() {
+            thread::sleep(self.delay);
+        }
+        assert!(!self.panic, "job {} exploded (deliberately)", self.id);
+        self.ran.lock().expect("ran lock").push(self.id);
+    }
+    fn cancelled(&self) -> bool {
+        self.cancel.load(Ordering::SeqCst)
+    }
+    fn skip(self) {
+        self.skipped.lock().expect("skipped lock").push(self.id);
+    }
+}
+
+struct Harness {
+    ran: Arc<Mutex<Vec<usize>>>,
+    skipped: Arc<Mutex<Vec<usize>>>,
+    never: Arc<AtomicBool>,
+}
+
+impl Harness {
+    fn new() -> Self {
+        Self {
+            ran: Arc::new(Mutex::new(Vec::new())),
+            skipped: Arc::new(Mutex::new(Vec::new())),
+            never: Arc::new(AtomicBool::new(false)),
+        }
+    }
+    fn job(&self, id: usize) -> Job {
+        self.job_with(id, &self.never, Duration::ZERO, false)
+    }
+    fn job_with(&self, id: usize, cancel: &Arc<AtomicBool>, delay: Duration, panic: bool) -> Job {
+        Job {
+            id,
+            cancel: Arc::clone(cancel),
+            ran: Arc::clone(&self.ran),
+            skipped: Arc::clone(&self.skipped),
+            delay,
+            panic,
+        }
+    }
+    fn ran(&self) -> Vec<usize> {
+        let mut v = self.ran.lock().expect("ran lock").clone();
+        v.sort_unstable();
+        v
+    }
+    fn skipped(&self) -> Vec<usize> {
+        let mut v = self.skipped.lock().expect("skipped lock").clone();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Submissions racing a `close()` must each land in exactly one bucket —
+/// accepted (and then run) or refused with `Closed`/`Full` — with nothing
+/// lost and nothing double-counted. Repeated so the close lands at varied
+/// points of the submission stream.
+#[test]
+fn submit_during_close_never_loses_or_duplicates_jobs() {
+    for round in 0..10 {
+        let h = Harness::new();
+        let q = Arc::new(JobQueue::start(Runner::new(2), 1024));
+        let accepted = Arc::new(AtomicUsize::new(0));
+        let refused = Arc::new(AtomicUsize::new(0));
+
+        let submitters: Vec<_> = (0..4)
+            .map(|t| {
+                let q = Arc::clone(&q);
+                let h_ran = Arc::clone(&h.ran);
+                let h_skipped = Arc::clone(&h.skipped);
+                let never = Arc::clone(&h.never);
+                let accepted = Arc::clone(&accepted);
+                let refused = Arc::clone(&refused);
+                thread::spawn(move || {
+                    for i in 0..50 {
+                        let job = Job {
+                            id: t * 1000 + i,
+                            cancel: Arc::clone(&never),
+                            ran: Arc::clone(&h_ran),
+                            skipped: Arc::clone(&h_skipped),
+                            delay: Duration::ZERO,
+                            panic: false,
+                        };
+                        match q.try_submit(job) {
+                            Ok(()) => {
+                                accepted.fetch_add(1, Ordering::SeqCst);
+                            }
+                            Err(SubmitError::Closed(_) | SubmitError::Full(_)) => {
+                                refused.fetch_add(1, Ordering::SeqCst);
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        // Close somewhere in the middle of the submission storm; a tiny
+        // stagger varies the cut point across rounds.
+        thread::sleep(Duration::from_micros(50 * round));
+        q.close();
+        for s in submitters {
+            s.join().expect("submitter");
+        }
+        q.drain();
+
+        let accepted = accepted.load(Ordering::SeqCst);
+        let refused = refused.load(Ordering::SeqCst);
+        assert_eq!(
+            accepted + refused,
+            200,
+            "every submit resolves exactly once"
+        );
+        // Every accepted job ran (none were cancelled); no refused job ran.
+        assert_eq!(h.ran().len(), accepted, "accepted jobs all drain");
+        assert!(h.skipped().is_empty());
+        // Post-close submissions are always refused.
+        match q.try_submit(h.job(999_999)) {
+            Err(SubmitError::Closed(job)) => assert_eq!(job.id, 999_999),
+            other => panic!(
+                "expected Closed, got {:?}",
+                other.map_err(|e| e.to_string())
+            ),
+        }
+    }
+}
+
+/// A job whose waiters give up while it is still queued is *skipped* at the
+/// between-jobs cancellation point — exactly once, deterministically, and
+/// its `run` never executes.
+#[test]
+fn skip_after_deadline_fires_exactly_once() {
+    let h = Harness::new();
+    let doomed_flag = Arc::new(AtomicBool::new(false));
+    let q = JobQueue::start(Runner::new(1), 16);
+
+    // Pin the single worker, then queue the doomed job behind it.
+    q.try_submit(h.job_with(0, &h.never, Duration::from_millis(80), false))
+        .expect("admit blocker");
+    q.try_submit(h.job_with(1, &doomed_flag, Duration::ZERO, false))
+        .expect("admit doomed");
+    q.try_submit(h.job(2)).expect("admit survivor");
+    // The "deadline expires" moment: the doomed job's only waiter detaches
+    // while the job is still queued.
+    doomed_flag.store(true, Ordering::SeqCst);
+
+    q.shutdown();
+    assert_eq!(h.ran(), vec![0, 2], "doomed job must never run");
+    assert_eq!(h.skipped(), vec![1], "doomed job skipped exactly once");
+}
+
+/// A panicking job must not kill its worker, leak the `running` count, or
+/// wedge `drain()` — the failure mode this guards against is a drain that
+/// blocks forever because a panicked worker never decremented `running`.
+#[test]
+fn drain_survives_a_panicked_job_and_the_pool_keeps_working() {
+    let h = Harness::new();
+    let q = Arc::new(JobQueue::start(Runner::new(2), 64));
+
+    q.try_submit(h.job_with(0, &h.never, Duration::ZERO, true))
+        .expect("admit the bomb");
+    q.try_submit(h.job(1)).expect("admit normal work");
+    q.try_submit(h.job(2)).expect("admit normal work");
+
+    // Wait until everything settled, bounded: panics recorded and the
+    // healthy jobs ran.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while q.panics() < 1 || h.ran().len() < 2 {
+        assert!(
+            Instant::now() < deadline,
+            "panicked job wedged the pool (panics={}, ran={:?})",
+            q.panics(),
+            h.ran()
+        );
+        thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(q.panics(), 1);
+    assert_eq!(h.ran(), vec![1, 2]);
+
+    // The pool survived: a fresh job still runs to completion.
+    q.try_submit(h.job(3)).expect("pool still accepts work");
+    q.close();
+    // drain() must return despite the earlier panic — this call hanging is
+    // precisely the regression this test exists to catch (it is why the
+    // worker loop guards jobs with catch_unwind).
+    q.drain();
+    assert_eq!(h.ran(), vec![1, 2, 3]);
+    assert_eq!(q.running(), 0);
+    assert_eq!(q.depth(), 0);
+}
+
+/// A panic inside `skip()` is guarded identically to one inside `run()`.
+#[test]
+fn panic_in_skip_is_also_contained() {
+    #[derive(Debug)]
+    struct SkipBomb {
+        armed: Arc<AtomicBool>,
+    }
+    impl QueueJob for SkipBomb {
+        fn run(self) {}
+        fn cancelled(&self) -> bool {
+            self.armed.load(Ordering::SeqCst)
+        }
+        fn skip(self) {
+            panic!("skip exploded (deliberately)");
+        }
+    }
+    let armed = Arc::new(AtomicBool::new(true));
+    let q = JobQueue::start(Runner::new(1), 8);
+    q.try_submit(SkipBomb {
+        armed: Arc::clone(&armed),
+    })
+    .expect("admit");
+    q.close();
+    q.drain(); // must not hang
+    assert_eq!(q.panics(), 1);
+}

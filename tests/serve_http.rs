@@ -34,9 +34,9 @@ fn test_config() -> ServeConfig {
     }
 }
 
-/// One request over a fresh connection; returns (status, body including the
-/// trailing newline).
-fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+/// One request over a fresh connection; returns (status, head, body
+/// including the trailing newline).
+fn http_raw(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String, String) {
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream
         .set_read_timeout(Some(Duration::from_secs(180)))
@@ -56,7 +56,14 @@ fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String)
         .expect("status line")
         .parse()
         .expect("numeric status");
-    (status, body.to_string())
+    (status, head.to_string(), body.to_string())
+}
+
+/// One request over a fresh connection; returns (status, body including the
+/// trailing newline).
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let (status, _, body) = http_raw(addr, method, path, body);
+    (status, body)
 }
 
 fn metrics(addr: SocketAddr) -> Value {
@@ -107,6 +114,11 @@ fn healthz_and_basic_errors() {
     assert_eq!(status, 200);
     let health = parse(&body).expect("healthz is valid JSON");
     assert_eq!(health.get("status").and_then(Value::as_str), Some("ok"));
+    assert_eq!(
+        health.get("store").and_then(Value::as_str),
+        Some("disabled"),
+        "no store configured: healthz reports the tier disabled"
+    );
     assert!(health.get("benches").and_then(Value::as_array).is_some());
 
     let (status, body) = http(addr, "POST", "/v1/simulate", "{\"bench\": \"nope\"}");
@@ -225,14 +237,20 @@ fn full_queue_sheds_with_429_and_coalesces_identical_work() {
         metric_u64(m, "jobs", "coalesced") == 1
     });
 
-    // A *distinct* request now finds the queue full and is shed.
-    let (status, body) = http(
+    // A *distinct* request now finds the queue full and is shed — with a
+    // Retry-After hint so clients back off instead of hammering.
+    let (status, head, body) = http_raw(
         addr,
         "POST",
         "/v1/simulate",
         "{\"bench\": \"eqntott\", \"insts\": 900}",
     );
     assert_eq!(status, 429, "expected shed, got: {body}");
+    assert!(
+        head.lines()
+            .any(|l| l.to_ascii_lowercase().starts_with("retry-after:")),
+        "429 must carry Retry-After: {head}"
+    );
     let shed = parse(&body).expect("429 body is JSON");
     assert_eq!(
         shed.get("error").and_then(Value::as_str),
@@ -337,6 +355,69 @@ fn repeated_sweeps_hit_the_lab_cache_and_stay_deterministic() {
         "{\"benches\": [\"compress\"], \"insts\": 0}",
     );
     assert_eq!(status, 400, "zero insts must 400: {body}");
+    server.shutdown();
+}
+
+#[test]
+fn stalled_and_half_closed_clients_cannot_pin_workers() {
+    // Tight socket timeouts and only two connection slots: if a stalled
+    // client could pin its handler thread, the service would be wedged.
+    let config = ServeConfig {
+        read_timeout: Duration::from_millis(200),
+        write_timeout: Duration::from_millis(200),
+        max_connections: 2,
+        ..test_config()
+    };
+    let server = Server::start(config).expect("server start");
+    let addr = server.addr();
+
+    // Slow-loris: sends half a request head, then stalls forever.
+    let mut loris = TcpStream::connect(addr).expect("connect loris");
+    loris
+        .write_all(b"POST /v1/simulate HTTP/1.1\r\nContent-")
+        .expect("partial head");
+
+    // Half-closed: connects, then shuts its write side without sending a
+    // byte (the server sees EOF and must drop the connection immediately).
+    let half = TcpStream::connect(addr).expect("connect half-closed");
+    half.shutdown(std::net::Shutdown::Write)
+        .expect("half close");
+
+    // Both slots are (at worst briefly) occupied; the read timeout must
+    // free the loris slot, after which normal service resumes. Saturated
+    // 503s — or outright resets — in the window are acceptable; a hang is
+    // not. The probe therefore swallows connection-level errors.
+    let probe = |addr: std::net::SocketAddr| -> Option<u16> {
+        let mut stream = TcpStream::connect(addr).ok()?;
+        stream.set_read_timeout(Some(Duration::from_secs(5))).ok()?;
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\nConnection: close\r\n\r\n")
+            .ok()?;
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw).ok()?;
+        let text = String::from_utf8(raw).ok()?;
+        text.split(' ').nth(1)?.parse().ok()
+    };
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let status = probe(addr);
+        if status == Some(200) {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "stalled clients wedged the server (last status {status:?})"
+        );
+        thread::sleep(Duration::from_millis(25));
+    }
+
+    // The server actively closed the stalled connection: the loris read
+    // side reaches EOF instead of blocking forever.
+    loris
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut sink = Vec::new();
+    let _ = loris.read_to_end(&mut sink); // EOF or reset, never a hang
     server.shutdown();
 }
 

@@ -1,0 +1,305 @@
+//! Fault-injection tests for the persistent store wired under
+//! `fetchmech-serve`, driven in-process: store hits across restart,
+//! degraded-mode behaviour under injected I/O failure, opaque 500s for
+//! injected worker panics, and replayability of the seeded schedule.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use fetchmech::experiments::ExpConfig;
+use fetchmech::json::{parse, Value};
+use fetchmech_repro::serve::{ServeConfig, Server};
+use fetchmech_repro::store::FaultPlan;
+
+const EXP: ExpConfig = ExpConfig {
+    trace_len: 4_000,
+    profile_len: 2_000,
+};
+
+fn temp_store(name: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "fetchmech-storefault-{}-{name}.log",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+fn config(store: &Path) -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        exp: EXP,
+        default_insts: 1_200,
+        store_path: Some(store.to_path_buf()),
+        ..ServeConfig::default()
+    }
+}
+
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(180)))
+        .unwrap();
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("write request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8(raw).expect("response is UTF-8");
+    let (head, body) = text.split_once("\r\n\r\n").expect("response has a head");
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .expect("numeric status");
+    (status, body.to_string())
+}
+
+fn metric_u64(m: &Value, group: &str, field: &str) -> u64 {
+    m.get(group)
+        .and_then(|g| g.get(field))
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| panic!("metrics missing {group}.{field}"))
+}
+
+fn metrics(addr: SocketAddr) -> Value {
+    let (status, body) = http(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    parse(&body).expect("metrics is valid JSON")
+}
+
+fn wait_for(addr: SocketAddr, what: &str, pred: impl Fn(&Value) -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if pred(&metrics(addr)) {
+            return;
+        }
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+const BODIES: [&str; 4] = [
+    "{\"bench\": \"compress\", \"scheme\": \"sequential\", \"insts\": 1000}",
+    "{\"bench\": \"compress\", \"scheme\": \"collapsing\", \"insts\": 1000}",
+    "{\"bench\": \"eqntott\", \"scheme\": \"sequential\", \"insts\": 1000}",
+    "{\"bench\": \"eqntott\", \"scheme\": \"perfect\", \"insts\": 1000}",
+];
+
+/// Results computed before a restart are served byte-identical after it,
+/// straight from the store index — no simulation jobs enqueued.
+#[test]
+fn restart_serves_durable_results_byte_identical_without_recompute() {
+    let store = temp_store("restart");
+    let mut originals = Vec::new();
+    {
+        let server = Server::start(config(&store)).expect("server start");
+        let addr = server.addr();
+        let (status, body) = http(addr, "GET", "/healthz", "");
+        assert_eq!(status, 200);
+        let health = parse(&body).expect("healthz JSON");
+        assert_eq!(health.get("store").and_then(Value::as_str), Some("active"));
+        for body in BODIES {
+            let (status, resp) = http(addr, "POST", "/v1/simulate", body);
+            assert_eq!(status, 200, "simulate failed: {resp}");
+            originals.push(resp);
+        }
+        // Persistence is write-behind: wait for everything durable before
+        // the graceful shutdown (which also flushes, but be explicit).
+        wait_for(addr, "all results persisted", |m| {
+            metric_u64(m, "store", "persisted") >= BODIES.len() as u64
+        });
+        server.shutdown();
+    }
+
+    let server = Server::start(config(&store)).expect("server restart");
+    let addr = server.addr();
+    for (body, original) in BODIES.iter().zip(&originals) {
+        let (status, resp) = http(addr, "POST", "/v1/simulate", body);
+        assert_eq!(status, 200);
+        assert_eq!(
+            &resp, original,
+            "restarted store must serve byte-identical results"
+        );
+    }
+    let m = metrics(addr);
+    assert_eq!(
+        metric_u64(&m, "jobs", "enqueued"),
+        0,
+        "store hits must not enqueue simulations"
+    );
+    assert_eq!(metric_u64(&m, "store", "hits"), BODIES.len() as u64);
+    assert_eq!(
+        metric_u64(&m, "store", "records_recovered"),
+        BODIES.len() as u64
+    );
+
+    // Sweeps resolve durable cells from the store too, and the rendering
+    // stays byte-for-byte deterministic.
+    let sweep = "{\"benches\": [\"compress\", \"eqntott\"], \
+                 \"schemes\": [\"sequential\"], \"insts\": 1000}";
+    let (status, first) = http(addr, "POST", "/v1/sweep", sweep);
+    assert_eq!(status, 200, "sweep failed: {first}");
+    let (status, second) = http(addr, "POST", "/v1/sweep", sweep);
+    assert_eq!(status, 200);
+    assert_eq!(first, second, "sweep over cached cells diverged");
+    let m = metrics(addr);
+    assert_eq!(
+        metric_u64(&m, "jobs", "enqueued"),
+        0,
+        "fully-durable sweeps must not enqueue simulations"
+    );
+    server.shutdown();
+    let _ = std::fs::remove_file(&store);
+}
+
+/// Under a transient-heavy seeded fault schedule the service answers every
+/// request correctly, never hangs, and the fault pattern replays exactly
+/// under the same seed.
+#[test]
+fn seeded_io_faults_are_survivable_and_replayable() {
+    let plan = FaultPlan {
+        seed: 0x5EED_CAFE,
+        write_err: 0.35,
+        short_write: 0.45,
+        sync_fail: 0.25,
+        ..FaultPlan::default()
+    };
+    let run = |name: &str| -> (u64, u64, u64) {
+        let store = temp_store(name);
+        let server = Server::start(ServeConfig {
+            fault: Some(plan),
+            ..config(&store)
+        })
+        .expect("server start");
+        let addr = server.addr();
+        for body in BODIES {
+            let (status, resp) = http(addr, "POST", "/v1/simulate", body);
+            assert_eq!(status, 200, "faults must stay invisible to clients: {resp}");
+        }
+        wait_for(addr, "persistence to settle", |m| {
+            metric_u64(m, "store", "persisted") + metric_u64(m, "store", "dropped")
+                >= BODIES.len() as u64
+        });
+        let m = metrics(addr);
+        let stats = (
+            metric_u64(&m, "store", "write_faults"),
+            metric_u64(&m, "store", "sync_faults"),
+            metric_u64(&m, "store", "persisted"),
+        );
+        server.shutdown();
+        let _ = std::fs::remove_file(&store);
+        stats
+    };
+    let first = run("chaos-a");
+    let second = run("chaos-b");
+    assert!(
+        first.0 > 0,
+        "a 35% write-fault rate must actually inject faults"
+    );
+    assert_eq!(
+        first, second,
+        "same seed, same operations => same fault counts"
+    );
+}
+
+/// An injected worker panic surfaces as an *opaque* 500: the client sees a
+/// reference id, never the panic payload or the request internals; the
+/// panic is counted; and the server keeps serving afterwards.
+#[test]
+fn injected_sim_panics_yield_opaque_500s_and_the_server_survives() {
+    let store = temp_store("panic");
+    let server = Server::start(ServeConfig {
+        fault: Some(FaultPlan {
+            seed: 1,
+            sim_panic: 1.0,
+            ..FaultPlan::default()
+        }),
+        ..config(&store)
+    })
+    .expect("server start");
+    let addr = server.addr();
+
+    let (status, body) = http(addr, "POST", "/v1/simulate", BODIES[0]);
+    assert_eq!(status, 500, "injected panic must 500: {body}");
+    let err = parse(&body).expect("500 body is JSON");
+    assert_eq!(err.get("error").and_then(Value::as_str), Some("internal"));
+    let detail = err
+        .get("detail")
+        .and_then(Value::as_str)
+        .expect("500 carries a detail");
+    assert!(
+        detail.contains("reference err-"),
+        "500 must carry an opaque reference id: {detail}"
+    );
+    for leak in ["panic", "compress", "SimKey", "injected"] {
+        assert!(
+            !body
+                .to_ascii_lowercase()
+                .contains(&leak.to_ascii_lowercase()),
+            "500 body leaks internals ({leak:?}): {body}"
+        );
+    }
+
+    let m = metrics(addr);
+    assert!(metric_u64(&m, "jobs", "failed") >= 1);
+    // The engine's own catch_unwind absorbs the panic before the queue's
+    // guard sees it, so the worker-level panic count stays zero.
+    assert_eq!(metric_u64(&m, "jobs", "worker_panics"), 0);
+
+    // Failed simulations are never persisted, and the server still serves.
+    assert_eq!(metric_u64(&m, "store", "persisted"), 0);
+    let (status, _) = http(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    server.shutdown();
+    let _ = std::fs::remove_file(&store);
+}
+
+/// When every store append hard-fails, the service flips to degraded mode —
+/// visible in /healthz and /metrics — while requests keep succeeding from
+/// the in-memory path.
+#[test]
+fn hard_store_failure_degrades_gracefully_not_fatally() {
+    let store = temp_store("degrade");
+    // write_err = 1.0 with this seed yields hard (non-transient) failures
+    // often enough to exhaust the retry budget on every append.
+    let server = Server::start(ServeConfig {
+        fault: Some(FaultPlan {
+            seed: 0xDEAD,
+            write_err: 1.0,
+            ..FaultPlan::default()
+        }),
+        ..config(&store)
+    })
+    .expect("server start");
+    let addr = server.addr();
+
+    for body in BODIES {
+        let (status, resp) = http(addr, "POST", "/v1/simulate", body);
+        assert_eq!(status, 200, "degraded store must not fail requests: {resp}");
+    }
+    wait_for(addr, "the store to degrade", |m| {
+        m.get("store")
+            .and_then(|s| s.get("state"))
+            .and_then(Value::as_str)
+            == Some("degraded")
+    });
+    let (status, body) = http(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    let health = parse(&body).expect("healthz JSON");
+    assert_eq!(
+        health.get("store").and_then(Value::as_str),
+        Some("degraded"),
+        "healthz must surface the degraded store"
+    );
+    // Still serving (from memory / recompute): coalesced or fresh, all 200.
+    let (status, _) = http(addr, "POST", "/v1/simulate", BODIES[0]);
+    assert_eq!(status, 200);
+    server.shutdown();
+    let _ = std::fs::remove_file(&store);
+}
