@@ -38,8 +38,26 @@ cargo run -q -p fetchmech-repro --bin fetchmech-lint -- analyze --insts 4000 --j
 echo "==> cargo doc --workspace --no-deps (warnings fatal)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
-echo "==> timing smoke: serial vs parallel runner (writes BENCH_PR3.json)"
-cargo run --release -q -p fetchmech-repro --example runner_bench
+echo "==> perf gate: block-stream path vs per-instruction path (writes BENCH_PR8.json)"
+# Wall-clock floor with generous tolerance below the ~2.5x measured on the
+# single-core reference box (see EXPERIMENTS.md for the measured numbers).
+FETCHMECH_PERF_GATE=2.0 cargo run --release -q -p fetchmech-repro --example runner_bench
+# Instruction-count-stable gate: the deterministic work counters in the
+# report (simulated cycles, retired/delivered instructions, stream records)
+# must match ci/expected_work.json exactly. Any drift means the simulation
+# or the stream representation changed behavior — update the expected file
+# only as part of a deliberate, reviewed change.
+for key in grid_jobs trace_len stream_insts stream_records stream_templates \
+           total_cycles total_retired total_delivered total_eir_cycles; do
+    want="$(sed -n "s/^ *\"$key\": \([0-9][0-9]*\).*/\1/p" ci/expected_work.json)"
+    got="$(sed -n "s/^ *\"$key\": \([0-9][0-9]*\).*/\1/p" BENCH_PR8.json)"
+    if [ -z "$want" ] || [ "$want" != "$got" ]; then
+        echo "work counter $key drifted: expected ${want:-<missing>}, got ${got:-<missing>}" >&2
+        echo "(update ci/expected_work.json only with a deliberate behavior change)" >&2
+        exit 1
+    fi
+done
+echo "work counters stable ($(sed -n 's/^ *"total_cycles": \([0-9]*\).*/\1/p' BENCH_PR8.json) simulated cycles)"
 
 echo "==> service smoke: boot fetchmech-serve, drive it, drain it (writes BENCH_PR5.json)"
 cargo build --release -q -p fetchmech-repro --bin fetchmech-serve --example serve_client

@@ -54,6 +54,7 @@ pub mod geometry;
 pub mod hooks;
 pub mod registry;
 pub mod sanitize;
+pub mod stream;
 pub mod structural;
 pub mod transform;
 
@@ -68,6 +69,7 @@ pub use registry::{Pass, Registry, Target};
 pub use sanitize::{
     check_scheme_dominance, check_static_bound, CycleSanitizer, FetchEnv, SanitizeConfig,
 };
+pub use stream::{check_stream, StreamPass};
 
 use fetchmech_compiler::{Profile, Reordered, Trace, TraceSelectConfig};
 use fetchmech_isa::{Layout, Program};
@@ -114,6 +116,12 @@ pub fn verify_transform(original: &Program, reordered: &Reordered) -> Vec<Diagno
         original,
         reordered,
     })
+}
+
+/// Verifies a run-length block stream with the default passes.
+#[must_use]
+pub fn verify_stream(stream: &fetchmech_isa::BlockStream) -> Vec<Diagnostic> {
+    Registry::with_default_passes().run(&Target::Stream(stream))
 }
 
 /// Verifies a reorder transform dynamically by executing `insts`

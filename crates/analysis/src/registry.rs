@@ -4,7 +4,7 @@
 use std::fmt;
 
 use fetchmech_compiler::{Profile, Reordered, Trace, TraceSelectConfig};
-use fetchmech_isa::{Layout, Program};
+use fetchmech_isa::{BlockStream, Layout, Program};
 use fetchmech_workloads::Workload;
 
 use crate::diag::{Diagnostic, DiagnosticSink};
@@ -48,6 +48,8 @@ pub enum Target<'a> {
         /// The reorder result (edited program + order + trace ends).
         reordered: &'a Reordered,
     },
+    /// A run-length block stream (the simulator fast path's input).
+    Stream(&'a BlockStream),
     /// Dynamic-equivalence check: execute the workload pre and post
     /// transform and diff the projected instruction streams.
     TraceDiff {
@@ -68,6 +70,7 @@ impl fmt::Debug for Target<'_> {
             Target::Profile { .. } => "Profile",
             Target::Traces { .. } => "Traces",
             Target::Transform { .. } => "Transform",
+            Target::Stream(_) => "Stream",
             Target::TraceDiff { .. } => "TraceDiff",
         };
         write!(f, "Target::{name}")
@@ -122,6 +125,7 @@ impl Registry {
         r.register(Box::new(crate::transform::TracesPass));
         r.register(Box::new(crate::transform::TransformPass));
         r.register(Box::new(crate::transform::TraceDiffPass));
+        r.register(Box::new(crate::stream::StreamPass));
         r.register(Box::new(crate::dataflow::DataflowPass::default()));
         r.register(Box::new(crate::sanitize::SanitizerCatalogPass));
         r
@@ -178,6 +182,7 @@ mod tests {
         let layout =
             fetchmech_isa::Layout::natural(&w.program, fetchmech_isa::LayoutOptions::new(16))
                 .expect("layout");
+        let stream = w.block_stream(&layout, InputId::TEST, 2_000);
         let targets = [
             Target::Program(&w.program),
             Target::Layout {
@@ -202,6 +207,7 @@ mod tests {
                 reordered: &reordered,
                 insts: 2_000,
             },
+            Target::Stream(&stream),
         ];
         for target in &targets {
             let applicable = r.passes().iter().filter(|p| p.applies(target)).count();

@@ -83,8 +83,10 @@ fn main() -> ExitCode {
     }
     let stats = lab.cache_stats();
     eprintln!(
-        "# shared caches: {} traces generated / {} hits, {} layouts built / {} hits, \
-         {} profiles collected, {} reorderings",
+        "# shared caches: {} streams built / {} hits, {} traces generated / {} hits, \
+         {} layouts built / {} hits, {} profiles collected, {} reorderings",
+        stats.stream_builds,
+        stats.stream_hits,
         stats.trace_generations,
         stats.trace_hits,
         stats.layout_builds,

@@ -168,7 +168,15 @@ impl Btb {
     }
 
     fn slot(&self, addr: Addr) -> usize {
-        (addr.word_index() % self.config.entries as u64) as usize
+        let entries = self.config.entries as u64;
+        let w = addr.word_index();
+        // Entry counts are powers of two in every machine model; keep the
+        // modulo fallback for odd test configurations.
+        if entries.is_power_of_two() {
+            (w & (entries - 1)) as usize
+        } else {
+            (w % entries) as usize
+        }
     }
 
     /// Predicts the instruction at `addr`.

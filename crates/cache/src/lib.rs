@@ -87,7 +87,8 @@ impl CacheConfig {
     /// interleaving, as in Figure 4 of the paper).
     #[must_use]
     pub fn bank_of(&self, addr: Addr) -> u32 {
-        (addr.block_index(self.block_bytes) % u64::from(self.banks)) as u32
+        // `banks` is validated to be a power of two.
+        (addr.block_index(self.block_bytes) & u64::from(self.banks - 1)) as u32
     }
 }
 
@@ -169,9 +170,12 @@ impl ICache {
     /// Accesses the block containing `addr`, filling it on a miss.
     pub fn access(&mut self, addr: Addr) -> Access {
         self.stats.accesses += 1;
+        // Size and block bytes are powers of two, so set selection is a
+        // mask and the tag a shift (this is the simulator's hottest loop).
         let block = addr.block_index(self.config.block_bytes);
-        let set = (block % self.config.num_sets()) as usize;
-        let tag = block / self.config.num_sets();
+        let sets = self.config.num_sets();
+        let set = (block & (sets - 1)) as usize;
+        let tag = block >> sets.trailing_zeros();
         if self.tags[set] == Some(tag) {
             Access::Hit
         } else {
@@ -186,8 +190,9 @@ impl ICache {
     #[must_use]
     pub fn probe(&self, addr: Addr) -> bool {
         let block = addr.block_index(self.config.block_bytes);
-        let set = (block % self.config.num_sets()) as usize;
-        let tag = block / self.config.num_sets();
+        let sets = self.config.num_sets();
+        let set = (block & (sets - 1)) as usize;
+        let tag = block >> sets.trailing_zeros();
         self.tags[set] == Some(tag)
     }
 

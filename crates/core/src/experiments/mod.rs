@@ -27,7 +27,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use fetchmech_compiler::{layout_pad_all, reorder, Profile, Reordered, TraceSelectConfig};
-use fetchmech_isa::{DynInst, Layout, LayoutOptions};
+use fetchmech_isa::{BlockStream, DynInst, Layout, LayoutOptions};
 use fetchmech_pipeline::MachineModel;
 use fetchmech_workloads::{suite, InputId, Workload, WorkloadClass};
 
@@ -255,6 +255,10 @@ pub struct LabCacheStats {
     pub trace_hits: u64,
     /// Traces actually generated (one per distinct [`TraceKey`]).
     pub trace_generations: u64,
+    /// Block-stream-cache hits (shared `Arc<BlockStream>` returned).
+    pub stream_hits: u64,
+    /// Block streams actually built (one per distinct [`TraceKey`]).
+    pub stream_builds: u64,
     /// Layout-cache hits.
     pub layout_hits: u64,
     /// Layouts actually built.
@@ -278,6 +282,8 @@ impl LabCacheStats {
         Value::object([
             ("trace_hits", Value::Uint(self.trace_hits)),
             ("trace_generations", Value::Uint(self.trace_generations)),
+            ("stream_hits", Value::Uint(self.stream_hits)),
+            ("stream_builds", Value::Uint(self.stream_builds)),
             ("layout_hits", Value::Uint(self.layout_hits)),
             ("layout_builds", Value::Uint(self.layout_builds)),
             ("profile_hits", Value::Uint(self.profile_hits)),
@@ -301,6 +307,7 @@ pub struct Lab {
     reordered_workloads: Memo<&'static str, Arc<Workload>>,
     layouts: Memo<(&'static str, LayoutVariant, u64), Arc<Layout>>,
     traces: Memo<TraceKey, Arc<[DynInst]>>,
+    streams: Memo<TraceKey, Arc<BlockStream>>,
 }
 
 impl Lab {
@@ -339,6 +346,7 @@ impl Lab {
             reordered_workloads: Memo::new(),
             layouts: Memo::new(),
             traces: Memo::new(),
+            streams: Memo::new(),
         }
     }
 
@@ -472,6 +480,39 @@ impl Lab {
         })
     }
 
+    /// The run-length block stream for `key`, built exactly once per process
+    /// and shared as an `Arc<BlockStream>`.
+    ///
+    /// The stream is generated *natively* — segment templates are interned
+    /// while walking the layout, without materializing a per-instruction
+    /// trace first — so the stream cache does not populate (or depend on)
+    /// the trace cache. Streams are the preferred simulation input: the
+    /// block-stream fast path of [`simulate`] is several times faster than
+    /// the per-instruction path, with bit-identical results.
+    pub fn stream(&self, key: TraceKey) -> Arc<BlockStream> {
+        self.streams.get_or_compute(key, || {
+            let w = self.workload(key.bench, key.variant);
+            let layout = self.layout(key.bench, key.variant, key.block_bytes);
+            Arc::new(w.block_stream(&layout, key.input, key.limit))
+        })
+    }
+
+    /// The standard measurement stream: test input, configured trace length.
+    pub fn test_stream(
+        &self,
+        bench: &'static str,
+        variant: LayoutVariant,
+        block_bytes: u64,
+    ) -> Arc<BlockStream> {
+        self.stream(TraceKey {
+            bench,
+            variant,
+            block_bytes,
+            input: InputId::TEST,
+            limit: self.cfg.trace_len,
+        })
+    }
+
     /// The standard measurement trace: test input, configured trace length.
     pub fn test_trace(
         &self,
@@ -490,8 +531,10 @@ impl Lab {
 
     /// Runs one full simulation of `bench` under `variant` on `machine`.
     ///
-    /// The trace comes from the shared cache (generated on first use) and is
-    /// lent to the simulator by refcount bump.
+    /// The block stream comes from the shared cache (built on first use) and
+    /// is lent to the simulator by refcount bump; the simulator takes the
+    /// block-stream fast path, which the differential oracle keeps
+    /// bit-identical to the per-instruction path.
     pub fn run(
         &self,
         machine: &MachineModel,
@@ -499,8 +542,8 @@ impl Lab {
         bench: &'static str,
         variant: LayoutVariant,
     ) -> SimResult {
-        let trace = self.test_trace(bench, variant, machine.block_bytes);
-        simulate(machine, scheme, &trace)
+        let stream = self.test_stream(bench, variant, machine.block_bytes);
+        simulate(machine, scheme, &stream)
     }
 
     /// Fetch-only EIR measurement of `bench` under `variant` on `machine`.
@@ -511,8 +554,8 @@ impl Lab {
         bench: &'static str,
         variant: LayoutVariant,
     ) -> EirResult {
-        let trace = self.test_trace(bench, variant, machine.block_bytes);
-        measure_eir(machine, scheme, &trace)
+        let stream = self.test_stream(bench, variant, machine.block_bytes);
+        measure_eir(machine, scheme, &stream)
     }
 
     /// Snapshot of the shared-cache hit/miss counters.
@@ -521,6 +564,8 @@ impl Lab {
         LabCacheStats {
             trace_hits: self.traces.hits(),
             trace_generations: self.traces.misses(),
+            stream_hits: self.streams.hits(),
+            stream_builds: self.streams.misses(),
             layout_hits: self.layouts.hits(),
             layout_builds: self.layouts.misses(),
             profile_hits: self.profiles.hits(),

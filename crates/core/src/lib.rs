@@ -54,8 +54,14 @@ pub use cost::{all_structures, StructureCost};
 pub use fetchmech_pipeline::scheme::{ParseSchemeError, SchemeKind};
 pub use runner::{JobQueue, QueueJob, Runner, SubmitError};
 pub use sanitize::{check_dominance, measure_eir_checked, simulate_checked, verify_static_bound};
-pub use sim::{build_fetch_unit, simulate, SimResult};
-pub use unit::{AlignedFetchUnit, BreakdownStats, FetchConfig, FetchStats};
+pub use sim::{
+    build_block_fetch_unit, build_fetch_unit, measure_eir, simulate, EirResult, SimResult,
+    SimSource,
+};
+pub use unit::{
+    AlignedFetchUnit, BlockFetchUnit, BlockPacket, BreakdownStats, FetchConfig, FetchOutcome,
+    FetchStats,
+};
 
 // Re-export the substrate crates under stable names so downstream users (and
 // the examples/benches) need only one dependency.

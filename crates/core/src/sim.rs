@@ -1,27 +1,49 @@
 //! The full-system simulator: fetch mechanism + out-of-order core.
 //!
-//! [`simulate`] wires an [`AlignedFetchUnit`] to an
-//! [`OooCore`] and runs a dynamic trace to
-//! completion, producing the paper's two metrics: **IPC** (useful
-//! instructions retired per cycle) and **EIR** (instructions supplied to the
-//! decoders per cycle). Padding nops are excluded from the IPC numerator —
-//! they retire, but they are not work.
+//! [`simulate`] wires a fetch unit to an out-of-order core and runs a
+//! dynamic trace to completion, producing the paper's two metrics: **IPC**
+//! (useful instructions retired per cycle) and **EIR** (instructions
+//! supplied to the decoders per cycle). Padding nops are excluded from the
+//! IPC numerator — they retire, but they are not work.
+//!
+//! Both [`simulate`] and [`measure_eir`] accept either input representation
+//! through [`SimSource`]:
+//!
+//! * a **per-instruction trace** (`Vec<DynInst>`, `Arc<[DynInst]>`,
+//!   [`TraceCursor`]) runs the reference path: [`AlignedFetchUnit`] +
+//!   [`OooCore`], one trace element per instruction;
+//! * a **block stream** (`Arc<BlockStream>`, [`BlockCursor`]) runs the fast
+//!   path: [`BlockFetchUnit`] + [`StreamCore`], which walks run-length
+//!   fetch-block segments, dispatches without materializing packets, and
+//!   skips provably-idle stretches of cycles in O(1).
+//!
+//! The two paths produce bit-identical [`SimResult`]s. That is not an
+//! aspiration but an enforced invariant: whenever the cycle sanitizer is
+//! enabled (debug builds and `--features sanitize`), every block-stream
+//! simulation re-runs through the sanitized per-instruction oracle and
+//! asserts whole-result equality.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use fetchmech_analysis::CycleSanitizer;
 use fetchmech_bpred::{Btb, BtbStats};
 use fetchmech_cache::{CacheStats, ICache};
-use fetchmech_isa::OpClass;
-use fetchmech_pipeline::{FetchUnit, FetchedInst, MachineModel, OooCore, TraceCursor};
+use fetchmech_isa::{BlockStream, DynInst, OpClass};
+use fetchmech_pipeline::{
+    BlockCursor, FetchUnit, FetchedInst, MachineModel, OooCore, StreamCore, TraceCursor,
+};
 
 use crate::scheme::SchemeKind;
-use crate::unit::{AlignedFetchUnit, FetchConfig, FetchStats};
+use crate::unit::{
+    AlignedFetchUnit, BlockFetchUnit, BlockPacket, FetchConfig, FetchOutcome, FetchStats,
+};
 
 /// Result of one simulation run.
 ///
 /// `PartialEq` compares every field, which is how the parallel-runner tests
-/// assert bit-identical serial/parallel execution.
+/// assert bit-identical serial/parallel execution and how the differential
+/// oracle asserts block-stream/per-instruction equivalence.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimResult {
     /// Scheme simulated.
@@ -66,7 +88,91 @@ impl SimResult {
     }
 }
 
-/// Builds the fetch unit for `machine` running `scheme` over `trace`.
+/// The instruction source for [`simulate`] and [`measure_eir`]: either a
+/// per-instruction trace (the reference oracle path) or a run-length block
+/// stream (the fast path).
+///
+/// Everything that converted into a [`TraceCursor`] before still converts
+/// into a `SimSource`, so existing per-instruction callers are unchanged;
+/// handing an `Arc<BlockStream>` (e.g. from the
+/// [`Lab`](crate::experiments::Lab) stream cache) selects the fast path.
+#[derive(Debug, Clone)]
+pub enum SimSource {
+    /// A per-instruction dynamic trace.
+    Insts(TraceCursor),
+    /// A run-length fetch-block stream.
+    Blocks(BlockCursor),
+}
+
+impl From<TraceCursor> for SimSource {
+    fn from(c: TraceCursor) -> Self {
+        SimSource::Insts(c)
+    }
+}
+
+impl From<Vec<DynInst>> for SimSource {
+    fn from(v: Vec<DynInst>) -> Self {
+        SimSource::Insts(TraceCursor::new(v))
+    }
+}
+
+impl From<Arc<[DynInst]>> for SimSource {
+    fn from(t: Arc<[DynInst]>) -> Self {
+        SimSource::Insts(TraceCursor::new(t))
+    }
+}
+
+impl From<&Arc<[DynInst]>> for SimSource {
+    fn from(t: &Arc<[DynInst]>) -> Self {
+        SimSource::Insts(TraceCursor::new(Arc::clone(t)))
+    }
+}
+
+impl From<&[DynInst]> for SimSource {
+    fn from(t: &[DynInst]) -> Self {
+        SimSource::Insts(TraceCursor::new(t))
+    }
+}
+
+impl From<BlockCursor> for SimSource {
+    fn from(c: BlockCursor) -> Self {
+        SimSource::Blocks(c)
+    }
+}
+
+impl From<Arc<BlockStream>> for SimSource {
+    fn from(s: Arc<BlockStream>) -> Self {
+        SimSource::Blocks(BlockCursor::new(s))
+    }
+}
+
+impl From<&Arc<BlockStream>> for SimSource {
+    fn from(s: &Arc<BlockStream>) -> Self {
+        SimSource::Blocks(BlockCursor::new(Arc::clone(s)))
+    }
+}
+
+impl From<BlockStream> for SimSource {
+    fn from(s: BlockStream) -> Self {
+        SimSource::Blocks(BlockCursor::new(Arc::new(s)))
+    }
+}
+
+fn fetch_config(machine: &MachineModel, scheme: SchemeKind) -> FetchConfig {
+    FetchConfig {
+        scheme,
+        issue_rate: machine.issue_rate,
+        block_bytes: machine.block_bytes,
+        fetch_penalty: machine.fetch_penalty,
+        miss_penalty: machine.icache_miss_penalty,
+        spec_depth: machine.spec_depth,
+        predictor: machine.predictor,
+        ras_entries: machine.ras_entries,
+    }
+}
+
+/// Builds the per-instruction fetch unit for `machine` running `scheme`
+/// over `trace`.
 ///
 /// The trace is *borrowed, not moved*: any `Into<TraceCursor>` works — an
 /// owned `Vec<DynInst>`, a `&Arc<[DynInst]>` straight out of the
@@ -78,23 +184,33 @@ pub fn build_fetch_unit(
     scheme: SchemeKind,
     trace: impl Into<TraceCursor>,
 ) -> AlignedFetchUnit {
-    let cfg = FetchConfig {
-        scheme,
-        issue_rate: machine.issue_rate,
-        block_bytes: machine.block_bytes,
-        fetch_penalty: machine.fetch_penalty,
-        miss_penalty: machine.icache_miss_penalty,
-        spec_depth: machine.spec_depth,
-        predictor: machine.predictor,
-        ras_entries: machine.ras_entries,
-    };
+    let cfg = fetch_config(machine, scheme);
     let icache = ICache::new(machine.cache_config(scheme.banks().max(2)));
     let btb = Btb::new(machine.btb_config());
     AlignedFetchUnit::new(cfg, icache, btb, trace.into())
 }
 
-/// Runs `trace` through `machine` with the given fetch `scheme` until every
+/// Builds the block-stream fetch unit for `machine` running `scheme` over a
+/// run-length block stream — the fast-path counterpart of
+/// [`build_fetch_unit`], with identical cache/BTB construction.
+#[must_use]
+pub fn build_block_fetch_unit(
+    machine: &MachineModel,
+    scheme: SchemeKind,
+    stream: impl Into<BlockCursor>,
+) -> BlockFetchUnit {
+    let cfg = fetch_config(machine, scheme);
+    let icache = ICache::new(machine.cache_config(scheme.banks().max(2)));
+    let btb = Btb::new(machine.btb_config());
+    BlockFetchUnit::new(cfg, icache, btb, stream.into())
+}
+
+/// Runs `source` through `machine` with the given fetch `scheme` until every
 /// instruction retires. Returns the aggregate [`SimResult`].
+///
+/// Per-instruction sources take the reference path; block streams take the
+/// fast path (identical results, enforced by the differential oracle when
+/// the sanitizer is enabled).
 ///
 /// # Panics
 ///
@@ -105,14 +221,22 @@ pub fn build_fetch_unit(
 pub fn simulate(
     machine: &MachineModel,
     scheme: SchemeKind,
-    trace: impl Into<TraceCursor>,
+    source: impl Into<SimSource>,
 ) -> SimResult {
-    if crate::sanitize::ENABLED {
-        let (result, diags) = crate::sanitize::simulate_checked(machine, scheme, trace);
-        crate::sanitize::assert_clean(&format!("simulate({scheme}, {})", machine.name), &diags);
-        return result;
+    match source.into() {
+        SimSource::Insts(cursor) => {
+            if crate::sanitize::ENABLED {
+                let (result, diags) = crate::sanitize::simulate_checked(machine, scheme, cursor);
+                crate::sanitize::assert_clean(
+                    &format!("simulate({scheme}, {})", machine.name),
+                    &diags,
+                );
+                return result;
+            }
+            simulate_observed(machine, scheme, cursor, None)
+        }
+        SimSource::Blocks(cursor) => simulate_blocks(machine, scheme, cursor),
     }
-    simulate_observed(machine, scheme, trace.into(), None)
 }
 
 /// [`simulate`] with an optional sanitizer observing every pipeline event.
@@ -244,6 +368,232 @@ pub(crate) fn simulate_observed(
     }
 }
 
+/// Block-stream [`simulate`]: runs the fast path, and — when the sanitizer
+/// is enabled and the cursor starts at the beginning of the stream —
+/// re-runs the materialized trace through the sanitized per-instruction
+/// oracle and asserts the two [`SimResult`]s are identical.
+fn simulate_blocks(machine: &MachineModel, scheme: SchemeKind, cursor: BlockCursor) -> SimResult {
+    let oracle_input = (crate::sanitize::ENABLED && cursor.pos() == 0).then(|| cursor.shared());
+    let fast = simulate_blocks_fast(machine, scheme, cursor);
+    if let Some(stream) = oracle_input {
+        let (oracle, diags) =
+            crate::sanitize::simulate_checked(machine, scheme, stream.materialize());
+        crate::sanitize::assert_clean(
+            &format!("simulate_blocks({scheme}, {})", machine.name),
+            &diags,
+        );
+        assert_eq!(
+            fast, oracle,
+            "block-stream fast path diverged from the per-instruction oracle \
+             ({scheme}, {})",
+            machine.name
+        );
+    }
+    fast
+}
+
+/// The block-stream simulation loop. Mirrors [`simulate_observed`] phase by
+/// phase — complete/retire, fire, dispatch, fetch — with two differences
+/// that cannot change the result:
+///
+/// * packets stay in run-length form ([`BlockPacket`]) and dispatch reads
+///   instructions straight out of the shared stream's templates;
+/// * stretches of cycles in which *nothing can happen* are skipped in O(1),
+///   with the per-cycle statistics the oracle would have recorded on those
+///   cycles (window-full counts, redirect stalls) patched in exactly.
+///
+/// A cycle is skippable only when the core neither starved a ready
+/// instruction this cycle nor holds a retirable ROB head (either would make
+/// the next cycle do real work), and then only up to the next completion
+/// time — the next moment the core's state can change. Speculation-blocked
+/// cycles are never skipped: each one performs real I-cache accesses in the
+/// fetch unit, and those must be simulated faithfully.
+fn simulate_blocks_fast(
+    machine: &MachineModel,
+    scheme: SchemeKind,
+    cursor: BlockCursor,
+) -> SimResult {
+    let stream = cursor.shared();
+    let mut fetch = build_block_fetch_unit(machine, scheme, cursor);
+    let mut core = StreamCore::new(machine.ooo_config());
+    let issue_rate = machine.issue_rate;
+
+    // The current packet, in run-length form, and the dispatch position
+    // within it: `run_idx`/`run_off` index into `pkt.runs`, `pkt_left`
+    // counts undispatched instructions.
+    let mut pkt = BlockPacket::default();
+    let mut run_idx = 0usize;
+    let mut run_off = 0u32;
+    let mut pkt_left = 0u32;
+    // Sequence number of the in-flight mispredicted control transfer whose
+    // resolution fetch is waiting on.
+    let mut watched: Option<u64> = None;
+    // A delivered-but-not-yet-dispatched mispredicted instruction.
+    let mut queued_mispredict = false;
+    let mut nops_fetched = 0u64;
+    // Outcome of the most recent fetch call; consulted by the idle-cycle
+    // skip only when the packet is empty, in which case it is always fresh
+    // (an empty packet and a pending queued mispredict cannot coexist — the
+    // flag clears when the packet's final instruction dispatches).
+    let mut idle = FetchOutcome::Delivered;
+
+    let mut cycle: u64 = 0;
+    loop {
+        // 1. Complete + retire; notify fetch of the watched resolution.
+        if core.begin_cycle(cycle, watched) {
+            fetch.on_mispredict_resolved(cycle);
+            watched = None;
+        }
+
+        // 2. Fire ready instructions.
+        let starved = core.fire(cycle);
+
+        // 3. Dispatch from the current packet. Nops are dropped here, as in
+        // the oracle: they consume dispatch bandwidth but never occupy a
+        // window or ROB slot.
+        let mut dispatched = 0u32;
+        let had_backlog = pkt_left > 0;
+        if pkt_left > 0 {
+            // Resolve the current run to a template slice once per run, not
+            // once per instruction.
+            let (tid, base, len) = pkt.runs[run_idx];
+            let mut insts = &stream.template(tid).insts()[base as usize..(base + len) as usize];
+            while dispatched < issue_rate && pkt_left > 0 {
+                let inst = &insts[run_off as usize];
+                if inst.op == OpClass::Nop {
+                    // Squashed at dispatch; no core interaction.
+                } else {
+                    if !core.can_accept() {
+                        break;
+                    }
+                    let mispredicted = pkt.mispredicted && pkt_left == 1;
+                    let seq = core.dispatch(inst.op, inst.dest, inst.srcs, mispredicted);
+                    if mispredicted {
+                        queued_mispredict = false;
+                        watched = Some(seq);
+                    }
+                }
+                run_off += 1;
+                pkt_left -= 1;
+                dispatched += 1;
+                if run_off as usize == insts.len() {
+                    run_idx += 1;
+                    run_off = 0;
+                    if pkt_left > 0 {
+                        let (tid, base, len) = pkt.runs[run_idx];
+                        insts = &stream.template(tid).insts()[base as usize..(base + len) as usize];
+                    }
+                }
+            }
+        }
+        if pkt_left > 0 && dispatched == 0 {
+            core.note_window_full(1);
+        }
+
+        // 4. Fetch the next packet once the current one has fully dispatched.
+        if pkt_left == 0 && !queued_mispredict {
+            // The packet queue is empty, so its conditional-branch count
+            // contributes nothing: unresolved = in-flight conds only.
+            idle = fetch.cycle_into(cycle, core.unresolved_cond(), &mut pkt);
+            if idle == FetchOutcome::Delivered {
+                pkt_left = pkt.len;
+                run_idx = 0;
+                run_off = 0;
+                nops_fetched += u64::from(pkt.nops);
+                queued_mispredict = pkt.mispredicted;
+            }
+        }
+
+        cycle += 1;
+        if fetch.done() && pkt_left == 0 && core.drained() {
+            break;
+        }
+        assert!(
+            cycle <= 1_000_000 + 64 * fetch.delivered().max(100_000),
+            "simulation runaway: {} cycles for {} delivered instructions",
+            cycle,
+            fetch.delivered()
+        );
+
+        // 5. Idle-cycle skip. Guards: a starved ready instruction fires next
+        // cycle, a retirable ROB head retires next cycle, and instructions
+        // dispatched *this* cycle fire next cycle — any of these makes the
+        // next cycle do real work, so no skip. (Every other in-window entry
+        // was offered to `fire` this cycle and found not ready; it cannot
+        // become ready before the next completion.)
+        if starved || core.front_retirable() || dispatched > 0 {
+            continue;
+        }
+        if pkt_left > 0 {
+            // Dispatch was attempted on a leftover packet and fully blocked
+            // (the head is a non-nop and the window/ROB is full; a freshly
+            // fetched packet has not been offered to dispatch yet). Until
+            // the next completion, every cycle repeats verbatim: nothing
+            // completes or retires, nothing fires, dispatch stays blocked,
+            // fetch is not consulted, and the oracle records one
+            // window-full cycle each time.
+            if had_backlog && dispatched == 0 {
+                if let Some(t) = core.next_completion() {
+                    if t > cycle {
+                        core.note_window_full(t - cycle);
+                        cycle = t;
+                    }
+                }
+            }
+        } else {
+            match idle {
+                FetchOutcome::AwaitResolve => {
+                    // Waiting on the watched branch. Until the next
+                    // completion nothing can resolve, and the oracle
+                    // records one redirect-stall cycle each time.
+                    if let Some(t) = core.next_completion() {
+                        if t > cycle {
+                            fetch.add_redirect_stalls(t - cycle);
+                            cycle = t;
+                        }
+                    }
+                }
+                FetchOutcome::Stalled { until } => {
+                    // Miss or post-redirect penalty: fetch returns nothing
+                    // (and records nothing) before `until`, so jump to the
+                    // earlier of the stall end and the next completion.
+                    let t = core.next_completion().map_or(until, |c| c.min(until));
+                    if t > cycle {
+                        cycle = t;
+                    }
+                }
+                FetchOutcome::Done => {
+                    // Stream exhausted; only the core is draining.
+                    if let Some(t) = core.next_completion() {
+                        if t > cycle {
+                            cycle = t;
+                        }
+                    }
+                }
+                // Delivered: the fresh packet dispatches next cycle.
+                // SpecBlocked: each blocked cycle performs real I-cache
+                // accesses (and possible bank conflicts) in the fetch unit —
+                // never skipped.
+                FetchOutcome::Delivered | FetchOutcome::SpecBlocked => {}
+            }
+        }
+    }
+
+    // Nops never dispatch, so everything the core retired is useful work.
+    let retired = core.stats().retired;
+    SimResult {
+        scheme,
+        machine: machine.name.clone(),
+        cycles: cycle,
+        retired: retired + nops_fetched,
+        retired_useful: retired,
+        delivered: fetch.delivered(),
+        fetch: *fetch.stats(),
+        icache: fetch.icache().stats(),
+        btb: fetch.btb().stats(),
+    }
+}
+
 /// Result of a fetch-only EIR measurement (see [`measure_eir`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct EirResult {
@@ -278,18 +628,28 @@ impl EirResult {
 /// misprediction cost is `1 + fetch_penalty` cycles. What remains is the
 /// fetch unit's own ability to align instructions, which is exactly what
 /// `EIR / EIR(perfect)` is meant to isolate.
+///
+/// Accepts either input representation, like [`simulate`].
 #[must_use]
 pub fn measure_eir(
     machine: &MachineModel,
     scheme: SchemeKind,
-    trace: impl Into<TraceCursor>,
+    source: impl Into<SimSource>,
 ) -> EirResult {
-    if crate::sanitize::ENABLED {
-        let (result, diags) = crate::sanitize::measure_eir_checked(machine, scheme, trace);
-        crate::sanitize::assert_clean(&format!("measure_eir({scheme}, {})", machine.name), &diags);
-        return result;
+    match source.into() {
+        SimSource::Insts(cursor) => {
+            if crate::sanitize::ENABLED {
+                let (result, diags) = crate::sanitize::measure_eir_checked(machine, scheme, cursor);
+                crate::sanitize::assert_clean(
+                    &format!("measure_eir({scheme}, {})", machine.name),
+                    &diags,
+                );
+                return result;
+            }
+            measure_eir_observed(machine, scheme, cursor, None)
+        }
+        SimSource::Blocks(cursor) => measure_eir_blocks(machine, scheme, cursor),
     }
-    measure_eir_observed(machine, scheme, trace.into(), None)
 }
 
 /// [`measure_eir`] with an optional sanitizer observing every fetch cycle
@@ -333,20 +693,91 @@ pub(crate) fn measure_eir_observed(
     }
 }
 
+/// Block-stream [`measure_eir`]: the fast loop, plus the same
+/// differential-oracle check as [`simulate`]'s block path when the
+/// sanitizer is enabled.
+fn measure_eir_blocks(
+    machine: &MachineModel,
+    scheme: SchemeKind,
+    cursor: BlockCursor,
+) -> EirResult {
+    let oracle_input = (crate::sanitize::ENABLED && cursor.pos() == 0).then(|| cursor.shared());
+    let fast = measure_eir_blocks_fast(machine, scheme, cursor);
+    if let Some(stream) = oracle_input {
+        let (oracle, diags) =
+            crate::sanitize::measure_eir_checked(machine, scheme, stream.materialize());
+        crate::sanitize::assert_clean(
+            &format!("measure_eir_blocks({scheme}, {})", machine.name),
+            &diags,
+        );
+        assert_eq!(
+            fast, oracle,
+            "block-stream EIR fast path diverged from the per-instruction \
+             oracle ({scheme}, {})",
+            machine.name
+        );
+    }
+    fast
+}
+
+/// The block-stream EIR loop. With the idealized back end, a mispredict
+/// resolves immediately and the only idle periods are [`FetchOutcome::
+/// Stalled`] stretches (miss/redirect penalties), which record no per-cycle
+/// statistics in the oracle and are therefore skipped wholesale.
+fn measure_eir_blocks_fast(
+    machine: &MachineModel,
+    scheme: SchemeKind,
+    cursor: BlockCursor,
+) -> EirResult {
+    let mut fetch = build_block_fetch_unit(machine, scheme, cursor);
+    let mut pkt = BlockPacket::default();
+    let mut cycle: u64 = 0;
+    loop {
+        let outcome = fetch.cycle_into(cycle, 0, &mut pkt);
+        if outcome == FetchOutcome::Delivered && pkt.mispredicted {
+            fetch.on_mispredict_resolved(cycle + 1);
+        }
+        cycle += 1;
+        if fetch.done() {
+            break;
+        }
+        if let FetchOutcome::Stalled { until } = outcome {
+            // Every cycle before `until` is a statless empty fetch in the
+            // oracle; jump straight to the resume point.
+            if until > cycle {
+                cycle = until;
+            }
+        }
+        assert!(
+            cycle <= 1_000_000 + 64 * fetch.delivered().max(100_000),
+            "EIR measurement runaway"
+        );
+    }
+    EirResult {
+        scheme,
+        cycles: cycle,
+        delivered: fetch.delivered(),
+        fetch: *fetch.stats(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use fetchmech_isa::{Layout, LayoutOptions};
     use fetchmech_workloads::{suite, InputId};
 
-    fn run(scheme: SchemeKind, machine: &MachineModel, n: u64) -> SimResult {
+    fn trace_of(machine: &MachineModel, n: u64) -> Vec<DynInst> {
         let w = suite::benchmark("compress").expect("known benchmark");
         let layout =
             Layout::natural(&w.program, LayoutOptions::new(machine.block_bytes)).expect("layout");
         // The executor borrows the workload, so collect the trace (tests use
         // short traces; experiment drivers share cached `Arc` traces instead).
-        let trace: Vec<_> = w.executor(&layout, InputId::TEST, n).collect();
-        simulate(machine, scheme, trace)
+        w.executor(&layout, InputId::TEST, n).collect()
+    }
+
+    fn run(scheme: SchemeKind, machine: &MachineModel, n: u64) -> SimResult {
+        simulate(machine, scheme, trace_of(machine, n))
     }
 
     #[test]
@@ -384,5 +815,25 @@ mod tests {
             "eir = {}",
             r.eir()
         );
+    }
+
+    /// The block-stream fast path must produce the same `SimResult` and
+    /// `EirResult` as the per-instruction path, field for field. (In debug
+    /// builds the block path additionally self-checks against the sanitized
+    /// oracle inside `simulate`, so this test exercises that machinery too.)
+    #[test]
+    fn block_stream_paths_match_per_instruction_paths() {
+        for machine in [MachineModel::p14(), MachineModel::p112()] {
+            let trace = trace_of(&machine, 4_000);
+            let stream = Arc::new(BlockStream::from_insts(&trace));
+            for scheme in SchemeKind::ALL {
+                let a = simulate(&machine, scheme, trace.clone());
+                let b = simulate(&machine, scheme, Arc::clone(&stream));
+                assert_eq!(a, b, "simulate mismatch: {scheme}, {}", machine.name);
+                let ea = measure_eir(&machine, scheme, trace.clone());
+                let eb = measure_eir(&machine, scheme, Arc::clone(&stream));
+                assert_eq!(ea, eb, "eir mismatch: {scheme}, {}", machine.name);
+            }
+        }
     }
 }

@@ -1,7 +1,20 @@
 //! The trace-driven fetch unit implementing all five alignment schemes.
 //!
-//! One structure, [`AlignedFetchUnit`], models every scheme; the per-cycle
-//! packet builder enforces each mechanism's geometric constraints:
+//! Two drivers share one mechanism model:
+//!
+//! * [`AlignedFetchUnit`] — the per-instruction oracle, walking a
+//!   [`TraceCursor`] one instruction at a time. This is the reference
+//!   implementation every optimization is checked against.
+//! * [`BlockFetchUnit`] — the block-stream fast path, walking a
+//!   [`BlockCursor`] over run-length fetch-block segments and admitting
+//!   straight-line spans a cache block at a time. It emits packets in
+//!   run-length form ([`BlockPacket`]) and reports *why* idle cycles were
+//!   idle ([`FetchOutcome`]), which is what lets the simulator loop skip
+//!   provably-quiet stretches of cycles.
+//!
+//! Both drivers delegate every prediction, admission, and continuation
+//! decision to the shared `FrontEnd`, so each mechanism's geometric
+//! constraints are enforced identically:
 //!
 //! * which cache blocks are readable this cycle (one block, the next
 //!   sequential block, or the BTB-predicted successor block subject to bank
@@ -19,7 +32,7 @@
 use fetchmech_bpred::{Btb, Gshare, PredictorKind, Tournament};
 use fetchmech_cache::ICache;
 use fetchmech_isa::{Addr, DynInst, OpClass};
-use fetchmech_pipeline::{FetchPacket, FetchUnit, FetchedInst, TraceCursor};
+use fetchmech_pipeline::{BlockCursor, FetchPacket, FetchUnit, FetchedInst, TraceCursor};
 
 use crate::scheme::SchemeKind;
 
@@ -118,28 +131,6 @@ impl FetchStats {
     }
 }
 
-/// The fetch unit. Construct with [`AlignedFetchUnit::new`] and drive through
-/// the [`FetchUnit`] trait.
-#[derive(Debug)]
-pub struct AlignedFetchUnit {
-    cfg: FetchConfig,
-    cursor: TraceCursor,
-    icache: ICache,
-    btb: Btb,
-    /// Earliest cycle at which the unit may deliver again (miss or redirect).
-    resume_at: u64,
-    /// Auxiliary direction predictor, when configured.
-    dir: DirPredictor,
-    /// Return-address stack (youngest last); empty when disabled.
-    ras: Vec<Addr>,
-    /// Set after delivering a mispredicted control transfer; cleared by
-    /// [`FetchUnit::on_mispredict_resolved`].
-    waiting_resolve: bool,
-    delivered: u64,
-    delivered_useful: u64,
-    stats: FetchStats,
-}
-
 /// What the walk decided about one candidate instruction.
 enum Step {
     /// Deliver and keep walking.
@@ -168,10 +159,43 @@ enum Break {
     SpecLimit,
 }
 
-impl AlignedFetchUnit {
-    /// Creates a fetch unit over `trace` with fresh cache and BTB state.
-    #[must_use]
-    pub fn new(cfg: FetchConfig, icache: ICache, btb: Btb, trace: TraceCursor) -> Self {
+/// Per-cycle walk state: which blocks are readable and where the walk is.
+struct Region {
+    fetch_block: Addr,
+    /// Second readable block (sequential-next or predicted successor).
+    second: Option<Addr>,
+    /// Set once delivery has moved into the second block (no going back).
+    in_second: bool,
+    /// An inter-block taken branch has been crossed this cycle.
+    crossed: bool,
+}
+
+/// Predictor, cache, and statistics state shared by the per-instruction
+/// oracle and the block-stream fast path. Every prediction, block-admission,
+/// and taken-branch-continuation decision lives here, so the two fetch
+/// drivers cannot drift apart — the differential-oracle tests assert their
+/// entire statistics blocks stay bit-identical.
+#[derive(Debug)]
+struct FrontEnd {
+    cfg: FetchConfig,
+    icache: ICache,
+    btb: Btb,
+    /// Earliest cycle at which the unit may deliver again (miss or redirect).
+    resume_at: u64,
+    /// Auxiliary direction predictor, when configured.
+    dir: DirPredictor,
+    /// Return-address stack (youngest last); empty when disabled.
+    ras: Vec<Addr>,
+    /// Set after delivering a mispredicted control transfer; cleared by
+    /// `on_mispredict_resolved`.
+    waiting_resolve: bool,
+    delivered: u64,
+    delivered_useful: u64,
+    stats: FetchStats,
+}
+
+impl FrontEnd {
+    fn new(cfg: FetchConfig, icache: ICache, btb: Btb) -> Self {
         let dir = match cfg.predictor {
             PredictorKind::TwoBitBtb => DirPredictor::BtbCounters,
             PredictorKind::Gshare(gcfg) => DirPredictor::Gshare(Gshare::new(gcfg)),
@@ -179,7 +203,6 @@ impl AlignedFetchUnit {
         };
         Self {
             cfg,
-            cursor: trace,
             icache,
             btb,
             dir,
@@ -192,45 +215,25 @@ impl AlignedFetchUnit {
         }
     }
 
-    /// Returns fetch statistics.
-    #[must_use]
-    pub fn stats(&self) -> &FetchStats {
-        &self.stats
-    }
-
-    /// Returns the instruction cache (for hit/miss statistics).
-    #[must_use]
-    pub fn icache(&self) -> &ICache {
-        &self.icache
-    }
-
-    /// Returns the branch-target buffer (for predictor statistics).
-    #[must_use]
-    pub fn btb(&self) -> &Btb {
-        &self.btb
-    }
-
-    /// Instructions delivered excluding nops (the useful-work numerator for
-    /// IPC under the padding optimizations).
-    #[must_use]
-    pub fn delivered_useful(&self) -> u64 {
-        self.delivered_useful
-    }
-
     /// Determines the successor block the banked/collapsing hardware would
     /// fetch alongside `fetch_block`: the predicted target block of the first
     /// BTB-predicted-taken slot at or after the fetch offset, else the next
-    /// sequential block.
+    /// sequential block. `peek` looks ahead in the undelivered trace without
+    /// consuming it (both cursor kinds provide this).
     ///
     /// The walk follows the actual trace, which matches the hardware's BTB
     /// query whenever the predictions are correct; when they are wrong the
     /// packet ends at the mispredicted branch and the successor block is
     /// irrelevant to delivered instructions.
-    fn predicted_successor(&mut self, fetch_block: Addr) -> Addr {
+    fn predicted_successor(
+        &mut self,
+        fetch_block: Addr,
+        peek: &mut impl FnMut(usize) -> Option<DynInst>,
+    ) -> Addr {
         let bs = self.cfg.block_bytes;
         let mut i = 0usize;
         loop {
-            let Some(inst) = self.cursor.peek(i) else {
+            let Some(inst) = peek(i) else {
                 return fetch_block.add_words(bs / fetchmech_isa::WORD_BYTES);
             };
             if inst.addr.block_base(bs) != fetch_block {
@@ -344,51 +347,26 @@ impl AlignedFetchUnit {
         correct
     }
 
-    fn note_break(&mut self, b: Break) {
-        match b {
-            Break::Bandwidth => self.stats.breaks.bandwidth += 1,
-            Break::RegionEnd => self.stats.breaks.region_end += 1,
-            Break::AtTaken => self.stats.breaks.taken_break += 1,
-            Break::Mispredict => self.stats.breaks.mispredict += 1,
-            Break::SpecLimit => self.stats.breaks.spec_limit += 1,
-        }
-    }
-}
-
-/// Per-cycle walk state: which blocks are readable and where the walk is.
-struct Region {
-    fetch_block: Addr,
-    /// Second readable block (sequential-next or predicted successor).
-    second: Option<Addr>,
-    /// Set once delivery has moved into the second block (no going back).
-    in_second: bool,
-    /// An inter-block taken branch has been crossed this cycle.
-    crossed: bool,
-}
-
-impl FetchUnit for AlignedFetchUnit {
-    fn cycle(&mut self, cycle: u64, unresolved_branches: u32) -> FetchPacket {
-        if self.waiting_resolve {
-            self.stats.redirect_stall_cycles += 1;
-            return FetchPacket::empty();
-        }
-        if cycle < self.resume_at {
-            return FetchPacket::empty();
-        }
-        let Some(&first) = self.cursor.peek(0) else {
-            return FetchPacket::empty();
-        };
+    /// Opens the cycle's readable-block region: demand-accesses the fetch
+    /// block (recording a miss stall and returning `None` on a miss), runs
+    /// the perfect scheme's prefetches, and selects the second readable
+    /// block per scheme.
+    fn open_region(
+        &mut self,
+        cycle: u64,
+        pc: Addr,
+        mut peek: impl FnMut(usize) -> Option<DynInst>,
+    ) -> Option<Region> {
         let scheme = self.cfg.scheme;
         let bs = self.cfg.block_bytes;
-        let pc = first.addr;
         let fetch_block = pc.block_base(bs);
 
-        // Demand access for the fetch block (perfect accesses lazily below,
-        // but its first block is a demand access too).
+        // Demand access for the fetch block (perfect accesses lazily in
+        // `admit`, but its first block is a demand access too).
         if !self.icache.access(fetch_block).is_hit() {
             self.resume_at = cycle + u64::from(self.cfg.miss_penalty);
             self.stats.miss_stall_cycles += 1;
-            return FetchPacket::empty();
+            return None;
         }
 
         // Second readable block, per scheme.
@@ -401,7 +379,7 @@ impl FetchUnit for AlignedFetchUnit {
             // caches by warming branch targets a cycle early.
             let next = fetch_block.add_words(bs / fetchmech_isa::WORD_BYTES);
             let _ = self.icache.access(next);
-            let succ = self.predicted_successor(fetch_block);
+            let succ = self.predicted_successor(fetch_block, &mut peek);
             if succ != fetch_block && succ != next {
                 let _ = self.icache.access(succ);
             }
@@ -412,7 +390,7 @@ impl FetchUnit for AlignedFetchUnit {
                 Some(fetch_block.add_words(bs / fetchmech_isa::WORD_BYTES))
             }
             SchemeKind::BankedSequential | SchemeKind::CollapsingBuffer => {
-                let succ = self.predicted_successor(fetch_block);
+                let succ = self.predicted_successor(fetch_block, &mut peek);
                 if succ == fetch_block {
                     // Predicted intra-block target: no second block to fetch
                     // (the collapsing buffer reuses the fetch block itself).
@@ -431,12 +409,200 @@ impl FetchUnit for AlignedFetchUnit {
         // makes it unusable now; it does not stall the demand fetch.
         let second = second.filter(|&s| self.icache.access(s).is_hit());
 
-        let mut region = Region {
+        Some(Region {
             fetch_block,
             second,
             in_second: false,
             crossed: false,
+        })
+    }
+
+    /// Geometry: is an instruction in cache block `blk` readable this cycle?
+    /// Updates the region (second-block entry; the perfect scheme's lazy
+    /// accesses and chained prefetch) and records the break reason on
+    /// rejection. Idempotent for consecutive instructions in one block,
+    /// which is what lets the block-stream walk admit whole spans at once.
+    fn admit(&mut self, region: &mut Region, blk: Addr, ended: &mut Option<Break>) -> bool {
+        match self.cfg.scheme {
+            SchemeKind::Perfect => {
+                // Unlimited alignment and bandwidth: further blocks are
+                // accessed as the packet grows; a miss ends the packet
+                // and fills the block without a stall (the unlimited-
+                // bandwidth front end prefetches as well as the banked
+                // schemes do). Only the demand miss on the fetch block
+                // itself stalls, like every other scheme.
+                if blk != region.fetch_block && Some(blk) != region.second {
+                    if self.icache.access(blk).is_hit() {
+                        region.second = Some(blk); // remember most recent
+                                                   // Chain the prefetch: a multi-block packet outruns
+                                                   // the packet-start prefetches, so each block the
+                                                   // walk enters prefetches its sequential successor
+                                                   // (fill only) — otherwise the *next* cycle's
+                                                   // demand fetch lands on a cold block and perfect
+                                                   // stalls where the one-pair-per-cycle schemes,
+                                                   // whose partner prefetch keeps pace, would not.
+                        let next = blk.add_words(self.cfg.block_bytes / fetchmech_isa::WORD_BYTES);
+                        let _ = self.icache.access(next);
+                        true
+                    } else {
+                        *ended = Some(Break::RegionEnd);
+                        false
+                    }
+                } else {
+                    true
+                }
+            }
+            _ => {
+                if blk == region.fetch_block && !region.in_second {
+                    true
+                } else if Some(blk) == region.second {
+                    region.in_second = true;
+                    true
+                } else {
+                    *ended = Some(Break::RegionEnd);
+                    false
+                }
+            }
+        }
+    }
+
+    /// Continuation decision at a correctly-predicted taken branch: may the
+    /// scheme keep delivering at the target within this same cycle?
+    fn taken_step(&mut self, region: &mut Region, inst_addr: Addr, target: Addr) -> Step {
+        let bs = self.cfg.block_bytes;
+        let tblk = target.block_base(bs);
+        match self.cfg.scheme {
+            SchemeKind::Perfect => Step::Take,
+            SchemeKind::Sequential | SchemeKind::InterleavedSequential => {
+                Step::TakeAndBreak(Break::AtTaken)
+            }
+            SchemeKind::BankedSequential => {
+                let current = if region.in_second {
+                    region.second
+                } else {
+                    Some(region.fetch_block)
+                };
+                if !region.crossed && Some(tblk) != current && Some(tblk) == region.second {
+                    region.crossed = true;
+                    region.in_second = true;
+                    self.stats.crossed_taken += 1;
+                    Step::Take
+                } else {
+                    Step::TakeAndBreak(Break::AtTaken)
+                }
+            }
+            SchemeKind::CollapsingBuffer => {
+                let current_blk = if region.in_second {
+                    region.second
+                } else {
+                    Some(region.fetch_block)
+                };
+                if Some(tblk) == current_blk && target > inst_addr {
+                    // Forward intra-block: collapse the gap.
+                    self.stats.collapsed += 1;
+                    Step::Take
+                } else if !region.crossed
+                    && Some(tblk) != current_blk
+                    && Some(tblk) == region.second
+                {
+                    region.crossed = true;
+                    region.in_second = true;
+                    self.stats.crossed_taken += 1;
+                    Step::Take
+                } else {
+                    // Backward intra-block targets and second
+                    // inter-block transfers are unsupported.
+                    Step::TakeAndBreak(Break::AtTaken)
+                }
+            }
+        }
+    }
+
+    fn note_break(&mut self, b: Break) {
+        match b {
+            Break::Bandwidth => self.stats.breaks.bandwidth += 1,
+            Break::RegionEnd => self.stats.breaks.region_end += 1,
+            Break::AtTaken => self.stats.breaks.taken_break += 1,
+            Break::Mispredict => self.stats.breaks.mispredict += 1,
+            Break::SpecLimit => self.stats.breaks.spec_limit += 1,
+        }
+    }
+
+    fn on_mispredict_resolved(&mut self, cycle: u64) {
+        debug_assert!(
+            self.waiting_resolve,
+            "resolution without an outstanding mispredict"
+        );
+        self.waiting_resolve = false;
+        self.resume_at = cycle + u64::from(self.cfg.fetch_penalty);
+    }
+}
+
+/// The per-instruction fetch unit — the reference oracle. Construct with
+/// [`AlignedFetchUnit::new`] and drive through the [`FetchUnit`] trait.
+#[derive(Debug)]
+pub struct AlignedFetchUnit {
+    fe: FrontEnd,
+    cursor: TraceCursor,
+}
+
+impl AlignedFetchUnit {
+    /// Creates a fetch unit over `trace` with fresh cache and BTB state.
+    #[must_use]
+    pub fn new(cfg: FetchConfig, icache: ICache, btb: Btb, trace: TraceCursor) -> Self {
+        Self {
+            fe: FrontEnd::new(cfg, icache, btb),
+            cursor: trace,
+        }
+    }
+
+    /// Returns fetch statistics.
+    #[must_use]
+    pub fn stats(&self) -> &FetchStats {
+        &self.fe.stats
+    }
+
+    /// Returns the instruction cache (for hit/miss statistics).
+    #[must_use]
+    pub fn icache(&self) -> &ICache {
+        &self.fe.icache
+    }
+
+    /// Returns the branch-target buffer (for predictor statistics).
+    #[must_use]
+    pub fn btb(&self) -> &Btb {
+        &self.fe.btb
+    }
+
+    /// Instructions delivered excluding nops (the useful-work numerator for
+    /// IPC under the padding optimizations).
+    #[must_use]
+    pub fn delivered_useful(&self) -> u64 {
+        self.fe.delivered_useful
+    }
+}
+
+impl FetchUnit for AlignedFetchUnit {
+    fn cycle(&mut self, cycle: u64, unresolved_branches: u32) -> FetchPacket {
+        if self.fe.waiting_resolve {
+            self.fe.stats.redirect_stall_cycles += 1;
+            return FetchPacket::empty();
+        }
+        if cycle < self.fe.resume_at {
+            return FetchPacket::empty();
+        }
+        let Some(&first) = self.cursor.peek(0) else {
+            return FetchPacket::empty();
         };
+        let bs = self.fe.cfg.block_bytes;
+        let cursor = &self.cursor;
+        let Some(mut region) = self
+            .fe
+            .open_region(cycle, first.addr, |i| cursor.peek(i).copied())
+        else {
+            return FetchPacket::empty();
+        };
+
         let mut packet = FetchPacket::empty();
         let mut conds_in_packet = 0u32;
         let mut ended: Option<Break> = None;
@@ -444,132 +610,40 @@ impl FetchUnit for AlignedFetchUnit {
         loop {
             let n = packet.len();
             let Some(&inst) = self.cursor.peek(n) else {
-                self.stats.breaks.trace_end += u64::from(n > 0);
+                self.fe.stats.breaks.trace_end += u64::from(n > 0);
                 break;
             };
-            if n as u32 >= self.cfg.issue_rate {
+            if n as u32 >= self.fe.cfg.issue_rate {
                 ended = Some(Break::Bandwidth);
                 break;
             }
             // Speculation depth: no instruction may be fetched once the
             // unresolved-branch count (older in-flight + in this packet)
             // exceeds the machine's limit.
-            if unresolved_branches + conds_in_packet > self.cfg.spec_depth {
+            if unresolved_branches + conds_in_packet > self.fe.cfg.spec_depth {
                 ended = Some(Break::SpecLimit);
                 break;
             }
             // Geometry: is this instruction readable this cycle?
             let blk = inst.addr.block_base(bs);
-            let admitted = match scheme {
-                SchemeKind::Perfect => {
-                    // Unlimited alignment and bandwidth: further blocks are
-                    // accessed as the packet grows; a miss ends the packet
-                    // and fills the block without a stall (the unlimited-
-                    // bandwidth front end prefetches as well as the banked
-                    // schemes do). Only the demand miss on the fetch block
-                    // itself stalls, like every other scheme.
-                    if blk != region.fetch_block && Some(blk) != region.second {
-                        if self.icache.access(blk).is_hit() {
-                            region.second = Some(blk); // remember most recent
-                                                       // Chain the prefetch: a multi-block packet outruns
-                                                       // the packet-start prefetches, so each block the
-                                                       // walk enters prefetches its sequential successor
-                                                       // (fill only) — otherwise the *next* cycle's
-                                                       // demand fetch lands on a cold block and perfect
-                                                       // stalls where the one-pair-per-cycle schemes,
-                                                       // whose partner prefetch keeps pace, would not.
-                            let next = blk.add_words(bs / fetchmech_isa::WORD_BYTES);
-                            let _ = self.icache.access(next);
-                            true
-                        } else {
-                            ended = Some(Break::RegionEnd);
-                            false
-                        }
-                    } else {
-                        true
-                    }
-                }
-                _ => {
-                    if blk == region.fetch_block && !region.in_second {
-                        true
-                    } else if Some(blk) == region.second {
-                        region.in_second = true;
-                        true
-                    } else {
-                        ended = Some(Break::RegionEnd);
-                        false
-                    }
-                }
-            };
-            if !admitted {
+            if !self.fe.admit(&mut region, blk, &mut ended) {
                 break;
             }
 
             // Control transfers: predict, train, and decide continuation.
             let step = if let Some(ictrl) = inst.ctrl {
-                let correct = self.predict_and_train(&inst);
-                let is_cond = inst.op == OpClass::CondBranch;
-                if is_cond {
+                let correct = self.fe.predict_and_train(&inst);
+                if inst.op == OpClass::CondBranch {
                     conds_in_packet += 1;
                 }
-                let taken = ictrl.taken;
                 if !correct {
                     Step::TakeAndBreak(Break::Mispredict)
-                } else if !taken {
+                } else if !ictrl.taken {
                     Step::Take
                 } else {
                     // Correctly-predicted taken: may the scheme continue at
                     // the target within this same cycle?
-                    let target = inst.next_pc;
-                    let tblk = target.block_base(bs);
-                    match scheme {
-                        SchemeKind::Perfect => Step::Take,
-                        SchemeKind::Sequential | SchemeKind::InterleavedSequential => {
-                            Step::TakeAndBreak(Break::AtTaken)
-                        }
-                        SchemeKind::BankedSequential => {
-                            let current = if region.in_second {
-                                region.second
-                            } else {
-                                Some(region.fetch_block)
-                            };
-                            if !region.crossed
-                                && Some(tblk) != current
-                                && Some(tblk) == region.second
-                            {
-                                region.crossed = true;
-                                region.in_second = true;
-                                self.stats.crossed_taken += 1;
-                                Step::Take
-                            } else {
-                                Step::TakeAndBreak(Break::AtTaken)
-                            }
-                        }
-                        SchemeKind::CollapsingBuffer => {
-                            let current_blk = if region.in_second {
-                                region.second
-                            } else {
-                                Some(region.fetch_block)
-                            };
-                            if Some(tblk) == current_blk && target > inst.addr {
-                                // Forward intra-block: collapse the gap.
-                                self.stats.collapsed += 1;
-                                Step::Take
-                            } else if !region.crossed
-                                && Some(tblk) != current_blk
-                                && Some(tblk) == region.second
-                            {
-                                region.crossed = true;
-                                region.in_second = true;
-                                self.stats.crossed_taken += 1;
-                                Step::Take
-                            } else {
-                                // Backward intra-block targets and second
-                                // inter-block transfers are unsupported.
-                                Step::TakeAndBreak(Break::AtTaken)
-                            }
-                        }
-                    }
+                    self.fe.taken_step(&mut region, inst.addr, inst.next_pc)
                 }
             } else {
                 Step::Take
@@ -587,7 +661,7 @@ impl FetchUnit for AlignedFetchUnit {
                     packet.insts.push(FetchedInst { inst, mispredicted });
                     ended = Some(b);
                     if mispredicted {
-                        self.waiting_resolve = true;
+                        self.fe.waiting_resolve = true;
                     }
                     break;
                 }
@@ -595,13 +669,13 @@ impl FetchUnit for AlignedFetchUnit {
         }
 
         if let Some(b) = ended {
-            self.note_break(b);
+            self.fe.note_break(b);
         }
         let n = packet.len();
         if n > 0 {
-            self.stats.packets += 1;
-            self.delivered += n as u64;
-            self.delivered_useful += packet
+            self.fe.stats.packets += 1;
+            self.fe.delivered += n as u64;
+            self.fe.delivered_useful += packet
                 .insts
                 .iter()
                 .filter(|f| f.inst.op != OpClass::Nop)
@@ -612,12 +686,7 @@ impl FetchUnit for AlignedFetchUnit {
     }
 
     fn on_mispredict_resolved(&mut self, cycle: u64) {
-        debug_assert!(
-            self.waiting_resolve,
-            "resolution without an outstanding mispredict"
-        );
-        self.waiting_resolve = false;
-        self.resume_at = cycle + u64::from(self.cfg.fetch_penalty);
+        self.fe.on_mispredict_resolved(cycle);
     }
 
     fn done(&mut self) -> bool {
@@ -625,11 +694,324 @@ impl FetchUnit for AlignedFetchUnit {
     }
 
     fn delivered(&self) -> u64 {
-        self.delivered
+        self.fe.delivered
     }
 
     fn name(&self) -> &'static str {
-        self.cfg.scheme.name()
+        self.fe.cfg.scheme.name()
+    }
+}
+
+/// A fetch packet in run-length form: spans of consecutive instructions
+/// inside interned segment templates instead of materialized
+/// [`FetchedInst`]s. The simulator loop resolves spans against its own
+/// handle to the shared [`BlockStream`](fetchmech_isa::BlockStream).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BlockPacket {
+    /// `(template id, start offset, length)` spans in delivery order.
+    pub runs: Vec<(u32, u32, u32)>,
+    /// Total instructions delivered.
+    pub len: u32,
+    /// Padding nops among them.
+    pub nops: u32,
+    /// Conditional branches among them.
+    pub conds: u32,
+    /// The final instruction is a mispredicted control transfer.
+    pub mispredicted: bool,
+}
+
+impl BlockPacket {
+    /// Resets the packet for reuse (the simulator loop recycles one buffer).
+    pub fn clear(&mut self) {
+        self.runs.clear();
+        self.len = 0;
+        self.nops = 0;
+        self.conds = 0;
+        self.mispredicted = false;
+    }
+
+    /// `true` if no instructions were delivered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn push_run(&mut self, id: u32, off: u32, len: u32) {
+        if let Some(last) = self.runs.last_mut() {
+            if last.0 == id && last.1 + last.2 == off {
+                last.2 += len;
+                return;
+            }
+        }
+        self.runs.push((id, off, len));
+    }
+}
+
+/// What a [`BlockFetchUnit`] cycle produced — and, when it produced nothing,
+/// *why*, so the simulator loop can decide whether the idle stretch is
+/// skippable (stalls with a known end) or must be simulated cycle by cycle
+/// (speculation-depth blocking performs real cache accesses every cycle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchOutcome {
+    /// A non-empty packet was delivered.
+    Delivered,
+    /// Waiting for the pipeline to resolve a mispredicted control transfer
+    /// (each such cycle records a redirect stall).
+    AwaitResolve,
+    /// Stalled on an I-cache miss or post-redirect penalty; the unit
+    /// delivers nothing before the given cycle.
+    Stalled {
+        /// First cycle at which delivery may resume.
+        until: u64,
+    },
+    /// The speculation-depth limit blocked the packet's first instruction.
+    SpecBlocked,
+    /// The stream is exhausted.
+    Done,
+}
+
+/// The block-stream fetch unit — the fast path. Behaviourally identical to
+/// [`AlignedFetchUnit`] over the same dynamic instruction sequence (both
+/// drive the shared `FrontEnd`; the differential-oracle tests enforce
+/// equality), but it walks run-length segment records and admits
+/// straight-line spans up to a cache-block boundary in one step instead of
+/// re-deciding geometry per instruction.
+#[derive(Debug)]
+pub struct BlockFetchUnit {
+    fe: FrontEnd,
+    cursor: BlockCursor,
+}
+
+impl BlockFetchUnit {
+    /// Creates a fetch unit over a block stream with fresh cache and BTB
+    /// state.
+    #[must_use]
+    pub fn new(cfg: FetchConfig, icache: ICache, btb: Btb, cursor: BlockCursor) -> Self {
+        Self {
+            fe: FrontEnd::new(cfg, icache, btb),
+            cursor,
+        }
+    }
+
+    /// Returns fetch statistics.
+    #[must_use]
+    pub fn stats(&self) -> &FetchStats {
+        &self.fe.stats
+    }
+
+    /// Returns the instruction cache (for hit/miss statistics).
+    #[must_use]
+    pub fn icache(&self) -> &ICache {
+        &self.fe.icache
+    }
+
+    /// Returns the branch-target buffer (for predictor statistics).
+    #[must_use]
+    pub fn btb(&self) -> &Btb {
+        &self.fe.btb
+    }
+
+    /// Instructions delivered so far (including nops).
+    #[must_use]
+    pub fn delivered(&self) -> u64 {
+        self.fe.delivered
+    }
+
+    /// Instructions delivered excluding nops.
+    #[must_use]
+    pub fn delivered_useful(&self) -> u64 {
+        self.fe.delivered_useful
+    }
+
+    /// `true` when the stream is exhausted.
+    #[must_use]
+    pub fn done(&self) -> bool {
+        self.cursor.is_done()
+    }
+
+    /// Reports resolution of the outstanding mispredicted control transfer;
+    /// delivery resumes after the fetch-pipeline penalty.
+    pub fn on_mispredict_resolved(&mut self, cycle: u64) {
+        self.fe.on_mispredict_resolved(cycle);
+    }
+
+    /// Accounts `n` skipped redirect-wait cycles at once. The simulator's
+    /// idle-cycle skip must keep the per-cycle stall counters exact: the
+    /// oracle records one redirect stall per empty waiting cycle, so a loop
+    /// that jumps over `n` such cycles adds them here.
+    pub fn add_redirect_stalls(&mut self, n: u64) {
+        debug_assert!(self.fe.waiting_resolve);
+        self.fe.stats.redirect_stall_cycles += n;
+    }
+
+    /// Runs one fetch cycle, filling `out` with the delivered packet in
+    /// run-length form (the packet is cleared first). Returns what happened,
+    /// including the reason when nothing was delivered.
+    pub fn cycle_into(
+        &mut self,
+        cycle: u64,
+        unresolved_branches: u32,
+        out: &mut BlockPacket,
+    ) -> FetchOutcome {
+        out.clear();
+        if self.fe.waiting_resolve {
+            self.fe.stats.redirect_stall_cycles += 1;
+            return FetchOutcome::AwaitResolve;
+        }
+        if cycle < self.fe.resume_at {
+            return FetchOutcome::Stalled {
+                until: self.fe.resume_at,
+            };
+        }
+        let stream = self.cursor.stream();
+        let records = stream.records();
+        let mut rec = self.cursor.record_index();
+        let mut off = self.cursor.offset();
+        if rec >= records.len() {
+            return FetchOutcome::Done;
+        }
+        let bs = self.fe.cfg.block_bytes;
+        let issue_rate = self.fe.cfg.issue_rate;
+        let spec_depth = self.fe.cfg.spec_depth;
+        let first_addr = stream.template(records[rec]).insts()[off].addr;
+        // `open_region` peeks at monotonically increasing offsets, so drive
+        // it from an incremental walk instead of `BlockCursor::peek` (which
+        // rescans the record list from the cursor on every call).
+        let cursor = &self.cursor;
+        let mut ahead = cursor.iter_ahead();
+        let mut ahead_next = 0usize;
+        let peek_seq = move |i: usize| -> Option<DynInst> {
+            debug_assert!(i >= ahead_next, "open_region peeks must be monotonic");
+            while ahead_next < i {
+                ahead.next()?;
+                ahead_next += 1;
+            }
+            ahead_next = i + 1;
+            ahead.next().copied()
+        };
+        let Some(mut region) = self.fe.open_region(cycle, first_addr, peek_seq) else {
+            return FetchOutcome::Stalled {
+                until: self.fe.resume_at,
+            };
+        };
+
+        let mut n = 0u32;
+        // Conditional branches that went through the predictor this packet —
+        // the speculation-depth count. Mirrors the oracle, which only counts
+        // control-annotated conditionals toward the limit.
+        let mut conds_pred = 0u32;
+        let mut ended: Option<Break> = None;
+
+        loop {
+            if rec >= records.len() {
+                self.fe.stats.breaks.trace_end += u64::from(n > 0);
+                break;
+            }
+            if n >= issue_rate {
+                ended = Some(Break::Bandwidth);
+                break;
+            }
+            if unresolved_branches + conds_pred > spec_depth {
+                ended = Some(Break::SpecLimit);
+                break;
+            }
+            let tid = records[rec];
+            let tpl = stream.template(tid);
+            let inst = &tpl.insts()[off];
+            let blk = inst.addr.block_base(bs);
+            if !self.fe.admit(&mut region, blk, &mut ended) {
+                break;
+            }
+
+            if let Some(ictrl) = inst.ctrl {
+                // The segment terminal (only the last instruction of a
+                // template may carry control info): predict, train, decide.
+                debug_assert_eq!(off + 1, tpl.len(), "ctrl only on the terminal");
+                let correct = self.fe.predict_and_train(inst);
+                if inst.op == OpClass::CondBranch {
+                    conds_pred += 1;
+                    out.conds += 1;
+                }
+                if inst.op == OpClass::Nop {
+                    out.nops += 1;
+                }
+                let step = if !correct {
+                    Step::TakeAndBreak(Break::Mispredict)
+                } else if !ictrl.taken {
+                    Step::Take
+                } else {
+                    self.fe.taken_step(&mut region, inst.addr, inst.next_pc)
+                };
+                out.push_run(tid, off as u32, 1);
+                n += 1;
+                rec += 1;
+                off = 0;
+                if let Step::TakeAndBreak(b) = step {
+                    out.mispredicted = matches!(b, Break::Mispredict);
+                    if out.mispredicted {
+                        self.fe.waiting_resolve = true;
+                    }
+                    ended = Some(b);
+                    break;
+                }
+            } else {
+                // A straight-line span: bandwidth, speculation state, and
+                // (within one cache block) geometry are constant across it,
+                // so admit a whole chunk at once. `admit` is idempotent for
+                // instructions sharing a block, making one call per chunk
+                // exactly equivalent to the oracle's per-instruction calls.
+                let plain_end = tpl.len() - usize::from(tpl.terminal().is_some());
+                let mut chunk = (plain_end - off).min((issue_rate - n) as usize);
+                if tpl.sequential() {
+                    let to_block_end = ((bs - (inst.addr.byte() - blk.byte()))
+                        / fetchmech_isa::WORD_BYTES)
+                        as usize;
+                    chunk = chunk.min(to_block_end);
+                } else {
+                    // Irregular addresses (hand-built traces): fall back to
+                    // per-instruction geometry.
+                    chunk = 1;
+                }
+                debug_assert!(chunk >= 1);
+                out.nops += tpl.nops_in(off..off + chunk);
+                let term_cond = matches!(tpl.terminal(), Some(t) if t.op == OpClass::CondBranch);
+                if tpl.op_count(OpClass::CondBranch) > u32::from(term_cond) {
+                    // Control-less conditional branches (possible only in
+                    // hand-built traces) count for the dispatch queue but
+                    // not the speculation limit — same as the oracle.
+                    out.conds += tpl.insts()[off..off + chunk]
+                        .iter()
+                        .filter(|i| i.op == OpClass::CondBranch)
+                        .count() as u32;
+                }
+                out.push_run(tid, off as u32, chunk as u32);
+                n += chunk as u32;
+                off += chunk;
+                if off == tpl.len() {
+                    rec += 1;
+                    off = 0;
+                }
+            }
+        }
+
+        if let Some(b) = ended {
+            self.fe.note_break(b);
+        }
+        if n > 0 {
+            self.fe.stats.packets += 1;
+            self.fe.delivered += u64::from(n);
+            self.fe.delivered_useful += u64::from(n - out.nops);
+            self.cursor.consume(n as usize);
+            out.len = n;
+            FetchOutcome::Delivered
+        } else {
+            debug_assert!(
+                matches!(ended, Some(Break::SpecLimit)),
+                "only the speculation limit can empty a packet whose first \
+                 instruction exists and whose fetch block hit"
+            );
+            FetchOutcome::SpecBlocked
+        }
     }
 }
 
@@ -1015,6 +1397,101 @@ mod tests {
         let _ = drain(&mut u);
         assert_eq!(u.delivered(), 4);
         assert_eq!(u.delivered_useful(), 3);
+    }
+
+    /// Drives an [`AlignedFetchUnit`] and a [`BlockFetchUnit`] over the same
+    /// dynamic instruction sequence and asserts their packets, statistics,
+    /// cache state, and BTB state stay identical, cycle by cycle.
+    fn assert_units_match(scheme: SchemeKind, trace: Vec<DynInst>) {
+        use fetchmech_isa::BlockStream;
+        let cfg = FetchConfig {
+            scheme,
+            issue_rate: 4,
+            block_bytes: BS,
+            fetch_penalty: 2,
+            miss_penalty: 10,
+            spec_depth: 2,
+            predictor: PredictorKind::TwoBitBtb,
+            ras_entries: 4,
+        };
+        let make_cache = || ICache::new(CacheConfig::new(32 * 1024, BS, 2));
+        let make_btb = || Btb::new(BtbConfig::for_block_bytes(BS));
+        let stream = std::sync::Arc::new(BlockStream::from_insts(&trace));
+        let mut oracle =
+            AlignedFetchUnit::new(cfg, make_cache(), make_btb(), TraceCursor::new(trace));
+        let mut fast = BlockFetchUnit::new(
+            cfg,
+            make_cache(),
+            make_btb(),
+            BlockCursor::new(std::sync::Arc::clone(&stream)),
+        );
+        let mut pkt = BlockPacket::default();
+        let mut cycle = 0u64;
+        while !oracle.done() {
+            let p = oracle.cycle(cycle, 0);
+            let outcome = fast.cycle_into(cycle, 0, &mut pkt);
+            assert_eq!(p.len() as u32, pkt.len, "cycle {cycle}: packet size");
+            assert_eq!(
+                p.ends_mispredicted(),
+                pkt.mispredicted,
+                "cycle {cycle}: mispredict flag"
+            );
+            assert_eq!(outcome == FetchOutcome::Delivered, !p.is_empty());
+            // The run-length spans must materialize to the oracle's packet.
+            let insts: Vec<DynInst> = pkt
+                .runs
+                .iter()
+                .flat_map(|&(tid, off, len)| {
+                    stream.template(tid).insts()[off as usize..(off + len) as usize]
+                        .iter()
+                        .copied()
+                })
+                .collect();
+            let oracle_insts: Vec<DynInst> = p.insts.iter().map(|f| f.inst).collect();
+            assert_eq!(insts, oracle_insts, "cycle {cycle}: packet contents");
+            if p.ends_mispredicted() {
+                oracle.on_mispredict_resolved(cycle + 1);
+                fast.on_mispredict_resolved(cycle + 1);
+            }
+            cycle += 1;
+            assert!(cycle < 100_000, "runaway");
+        }
+        assert!(fast.done());
+        assert_eq!(oracle.stats(), fast.stats());
+        assert_eq!(oracle.delivered(), fast.delivered());
+        assert_eq!(oracle.delivered_useful(), fast.delivered_useful());
+        assert_eq!(oracle.icache().stats(), fast.icache().stats());
+        assert_eq!(oracle.btb().stats(), fast.btb().stats());
+    }
+
+    #[test]
+    fn block_unit_matches_oracle_on_mixed_traces() {
+        for scheme in SchemeKind::ALL {
+            // A taken loop crossing blocks and banks, misaligned start.
+            let body = vec![
+                alu(0x1008),
+                alu(0x100c),
+                br(0x1010, true, 0x2010),
+                alu(0x2010),
+                jmp(0x2014, 0x1008),
+            ];
+            assert_units_match(scheme, cycle_trace(body, 24));
+            // Straight-line code with nop padding.
+            let mut t = run(0x1000, 7);
+            t.push(DynInst::simple(
+                Addr::new(0x101c),
+                OpClass::Nop,
+                None,
+                [None, None],
+            ));
+            t.extend(run(0x1020, 5));
+            assert_units_match(scheme, t);
+            // Alternating conditional inside one block (mispredict-heavy).
+            let alt: Vec<DynInst> = (0..64)
+                .flat_map(|i| vec![alu(0x1000), br(0x1004, i % 3 == 0, 0x1000)])
+                .collect();
+            assert_units_match(scheme, alt);
+        }
     }
 }
 

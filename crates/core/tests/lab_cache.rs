@@ -1,11 +1,11 @@
 //! Exactness of the [`Lab`] shared-cache counters under thread contention.
 //!
-//! The lab promises every expensive artifact (layout, trace) is computed
-//! *exactly once per process* no matter how many worker threads request it
-//! concurrently, and that repeat requesters share the same allocation. The
-//! counters in [`LabCacheStats`] make that auditable, so this test drives a
-//! known request mix from many threads and asserts the exact hit/miss split —
-//! any double compute or lost hit shifts a counter.
+//! The lab promises every expensive artifact (layout, trace, block stream)
+//! is computed *exactly once per process* no matter how many worker threads
+//! request it concurrently, and that repeat requesters share the same
+//! allocation. The counters in [`LabCacheStats`] make that auditable, so this
+//! test drives a known request mix from many threads and asserts the exact
+//! hit/miss split — any double compute or lost hit shifts a counter.
 
 use std::sync::Arc;
 
@@ -33,8 +33,8 @@ fn cache_counters_are_exact_under_contention() {
     let lab = Lab::with_threads(ExpConfig::quick(), 1);
     let (key_a, key_b) = (key("compress"), key("bison"));
 
-    // Every thread hammers the same two trace keys plus one layout key
-    // directly, collecting the Arcs it was handed.
+    // Every thread hammers the same two trace keys, one block-stream key,
+    // and one layout key directly, collecting the Arcs it was handed.
     let per_thread: Vec<Vec<Arc<[DynInst]>>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..THREADS)
             .map(|_| {
@@ -44,6 +44,8 @@ fn cache_counters_are_exact_under_contention() {
                         got.push(lab.trace(key_a));
                         got.push(lab.trace(key_b));
                         let _ = lab.layout(key_a.bench, key_a.variant, key_a.block_bytes);
+                        let s = lab.stream(key_a);
+                        assert_eq!(s.total_insts(), LIMIT);
                     }
                     got
                 })
@@ -70,11 +72,13 @@ fn cache_counters_are_exact_under_contention() {
 
     // Exact counter accounting for the mix above:
     // * traces: 8 threads x 4 repeats x 2 keys = 64 lookups, 2 distinct keys
-    //   => exactly 2 generations, 62 hits.
-    // * layouts: the 2 trace generations each build their layout once, plus
-    //   8 x 4 = 32 direct lookups of the compress key (same key the compress
-    //   trace generation used) => 2 builds, 32 hits. Which thread wins the
-    //   build race varies; the totals may not.
+    //   => exactly 2 generations, 62 hits. The stream cache never touches
+    //   the trace cache — streams are generated natively.
+    // * streams: 8 x 4 = 32 lookups of one key => 1 build, 31 hits.
+    // * layouts: the 2 trace generations and the 1 stream build each look up
+    //   their layout once, plus 8 x 4 = 32 direct lookups of the compress
+    //   key => 35 lookups, 2 builds, 33 hits. Which thread wins a build race
+    //   varies; the totals may not.
     // * profiles/reorderings: Natural layouts never touch them.
     let lookups = (THREADS * REPEATS) as u64;
     assert_eq!(
@@ -82,7 +86,9 @@ fn cache_counters_are_exact_under_contention() {
         LabCacheStats {
             trace_hits: lookups * 2 - 2,
             trace_generations: 2,
-            layout_hits: lookups,
+            stream_hits: lookups - 1,
+            stream_builds: 1,
+            layout_hits: lookups + 3 - 2,
             layout_builds: 2,
             profile_hits: 0,
             profile_collections: 0,
@@ -94,7 +100,11 @@ fn cache_counters_are_exact_under_contention() {
     // A second serial pass is pure hits.
     let again = lab.trace(key_a);
     assert!(Arc::ptr_eq(&again, &first[0]));
+    let stream_again = lab.stream(key_a);
+    assert_eq!(stream_again.total_insts(), LIMIT);
     let stats = lab.cache_stats();
     assert_eq!(stats.trace_generations, 2);
     assert_eq!(stats.trace_hits, lookups * 2 - 1);
+    assert_eq!(stats.stream_builds, 1);
+    assert_eq!(stats.stream_hits, lookups);
 }

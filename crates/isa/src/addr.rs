@@ -82,7 +82,7 @@ impl Addr {
             block_bytes.is_power_of_two(),
             "block size must be a power of two"
         );
-        self.0 / block_bytes
+        self.0 >> block_bytes.trailing_zeros()
     }
 
     /// Returns the word offset of this address within its cache block.

@@ -54,6 +54,7 @@ pub mod layout;
 pub mod op;
 pub mod reg;
 pub mod rng;
+pub mod stream;
 pub mod trace;
 pub mod trace_io;
 
@@ -68,5 +69,6 @@ pub use layout::{
 };
 pub use op::{FuClass, OpClass};
 pub use reg::{Reg, NUM_FP_REGS, NUM_INT_REGS};
+pub use stream::{BlockStream, BlockStreamBuilder, SegTemplate, StreamStats};
 pub use trace::{DynCtrl, DynInst, TraceStats};
 pub use trace_io::{read_trace, write_trace};

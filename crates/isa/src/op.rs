@@ -98,6 +98,26 @@ impl OpClass {
         OpClass::Halt,
     ];
 
+    /// Index of this class within [`OpClass::ALL`] — a stable dense key for
+    /// per-class count arrays.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            OpClass::IntAlu => 0,
+            OpClass::IntMul => 1,
+            OpClass::FpAdd => 2,
+            OpClass::FpMul => 3,
+            OpClass::Load => 4,
+            OpClass::Store => 5,
+            OpClass::CondBranch => 6,
+            OpClass::Jump => 7,
+            OpClass::Call => 8,
+            OpClass::Return => 9,
+            OpClass::Nop => 10,
+            OpClass::Halt => 11,
+        }
+    }
+
     /// Returns the functional unit that executes this operation.
     ///
     /// `Nop` and `Halt` are dispatched to the FXU (they occupy an issue slot
@@ -226,6 +246,13 @@ mod tests {
     fn cond_branch_is_not_unconditional() {
         assert!(OpClass::CondBranch.is_control());
         assert!(!OpClass::CondBranch.is_unconditional());
+    }
+
+    #[test]
+    fn index_matches_all_order() {
+        for (i, op) in OpClass::ALL.iter().enumerate() {
+            assert_eq!(op.index(), i, "{op}");
+        }
     }
 
     #[test]

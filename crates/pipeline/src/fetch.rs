@@ -9,7 +9,7 @@
 //! reports resolution (the paper's footnote 1: total penalty = fetch redirect
 //! penalty + cycles until the branch executes).
 
-use fetchmech_isa::DynInst;
+use fetchmech_isa::{BlockStream, DynInst, SegTemplate};
 
 /// One fetched instruction plus its prediction outcome.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -185,6 +185,198 @@ impl TraceCursor {
     }
 }
 
+/// A peekable cursor over a shared run-length [`BlockStream`].
+///
+/// The block-level analogue of [`TraceCursor`]: the same peek/consume
+/// contract over the same logical instruction sequence, but positioned as
+/// (record, offset) into the stream so the fast fetch path can admit whole
+/// template runs without touching individual instructions. `peek`/`consume`
+/// transparently cross segment boundaries, so any per-instruction consumer
+/// behaves exactly as it would over the materialized trace.
+///
+/// # Examples
+///
+/// ```
+/// use fetchmech_isa::{Addr, BlockStream, DynInst, OpClass};
+/// use fetchmech_pipeline::BlockCursor;
+///
+/// let insts: Vec<_> = (0..4)
+///     .map(|i| DynInst::simple(Addr::from_word_index(i), OpClass::IntAlu, None, [None, None]))
+///     .collect();
+/// let stream = std::sync::Arc::new(BlockStream::from_insts(&insts));
+/// let mut cur = BlockCursor::new(stream);
+/// assert_eq!(cur.peek(2).unwrap().addr, Addr::from_word_index(2));
+/// cur.consume(3);
+/// assert_eq!(cur.peek(0).unwrap().addr, Addr::from_word_index(3));
+/// cur.consume(1);
+/// assert!(cur.is_done());
+/// ```
+#[derive(Clone)]
+pub struct BlockCursor {
+    stream: std::sync::Arc<BlockStream>,
+    /// Current record index; `records().len()` once exhausted.
+    rec: usize,
+    /// Offset within the current record's template; always in-bounds while
+    /// records remain.
+    off: usize,
+    /// Absolute instructions consumed.
+    pos: u64,
+}
+
+impl std::fmt::Debug for BlockCursor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlockCursor")
+            .field("records", &self.stream.records().len())
+            .field("rec", &self.rec)
+            .field("off", &self.off)
+            .field("pos", &self.pos)
+            .finish()
+    }
+}
+
+impl BlockCursor {
+    /// Wraps a shared block stream, positioned at the start.
+    #[must_use]
+    pub fn new(stream: std::sync::Arc<BlockStream>) -> Self {
+        Self {
+            stream,
+            rec: 0,
+            off: 0,
+            pos: 0,
+        }
+    }
+
+    /// Returns the instruction `offset` positions ahead of the cursor, if the
+    /// stream extends that far (crossing segment boundaries as needed).
+    #[must_use]
+    pub fn peek(&self, offset: usize) -> Option<&DynInst> {
+        let records = self.stream.records();
+        let mut rec = self.rec;
+        let mut k = self.off + offset;
+        while rec < records.len() {
+            let t = self.stream.template(records[rec]);
+            if k < t.len() {
+                return Some(&t.insts()[k]);
+            }
+            k -= t.len();
+            rec += 1;
+        }
+        None
+    }
+
+    /// Advances the cursor by `n` instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `n` instructions remain.
+    pub fn consume(&mut self, n: usize) {
+        let records = self.stream.records();
+        let mut k = self.off + n;
+        while self.rec < records.len() {
+            let len = self.stream.template(records[self.rec]).len();
+            if k < len {
+                self.off = k;
+                self.pos += n as u64;
+                return;
+            }
+            k -= len;
+            self.rec += 1;
+        }
+        self.off = 0;
+        assert!(k == 0, "consumed past end of trace");
+        self.pos += n as u64;
+    }
+
+    /// Returns `true` when the stream is exhausted.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.rec >= self.stream.records().len()
+    }
+
+    /// Instructions not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> u64 {
+        self.stream.total_insts() - self.pos
+    }
+
+    /// Absolute instructions consumed so far.
+    #[must_use]
+    pub fn pos(&self) -> u64 {
+        self.pos
+    }
+
+    /// Index of the record the cursor is positioned in (equal to the record
+    /// count once exhausted).
+    #[must_use]
+    pub fn record_index(&self) -> usize {
+        self.rec
+    }
+
+    /// Offset within the current record's template (0 when exhausted).
+    #[must_use]
+    pub fn offset(&self) -> usize {
+        self.off
+    }
+
+    /// The remainder of the current segment (from the cursor position to the
+    /// segment's end), with its template id and offset, or `None` at end of
+    /// stream. The slice always contains at least one instruction.
+    #[must_use]
+    pub fn run(&self) -> Option<(u32, usize, &SegTemplate)> {
+        let records = self.stream.records();
+        if self.rec >= records.len() {
+            return None;
+        }
+        let id = records[self.rec];
+        Some((id, self.off, self.stream.template(id)))
+    }
+
+    /// Iterates the instructions ahead of the cursor (inclusive of the
+    /// current position) without consuming.
+    pub fn iter_ahead(&self) -> impl Iterator<Item = &DynInst> + '_ {
+        let records = self.stream.records();
+        let first = records.get(self.rec).map(|&id| {
+            let t = self.stream.template(id);
+            t.insts()[self.off..].iter()
+        });
+        first.into_iter().flatten().chain(
+            records[(self.rec + 1).min(records.len())..]
+                .iter()
+                .flat_map(|&id| self.stream.template(id).insts().iter()),
+        )
+    }
+
+    /// A zero-copy handle to the underlying shared stream.
+    #[must_use]
+    pub fn shared(&self) -> std::sync::Arc<BlockStream> {
+        std::sync::Arc::clone(&self.stream)
+    }
+
+    /// Borrows the underlying stream without touching the refcount.
+    #[must_use]
+    pub fn stream(&self) -> &BlockStream {
+        &self.stream
+    }
+}
+
+impl From<std::sync::Arc<BlockStream>> for BlockCursor {
+    fn from(stream: std::sync::Arc<BlockStream>) -> Self {
+        Self::new(stream)
+    }
+}
+
+impl From<&std::sync::Arc<BlockStream>> for BlockCursor {
+    fn from(stream: &std::sync::Arc<BlockStream>) -> Self {
+        Self::new(std::sync::Arc::clone(stream))
+    }
+}
+
+impl From<BlockStream> for BlockCursor {
+    fn from(stream: BlockStream) -> Self {
+        Self::new(std::sync::Arc::new(stream))
+    }
+}
+
 impl From<Vec<DynInst>> for TraceCursor {
     fn from(trace: Vec<DynInst>) -> Self {
         Self::new(trace)
@@ -266,6 +458,95 @@ mod tests {
         assert!(std::sync::Arc::ptr_eq(&a.shared(), &b.shared()));
         assert_eq!(a.remaining(), 8);
         assert_eq!(b.remaining(), 8);
+    }
+
+    fn looped_trace() -> Vec<DynInst> {
+        // Two-segment loop plus a cut tail, exercising boundary crossings.
+        let branch = |addr: u64, taken: bool, target: u64| DynInst {
+            addr: Addr::new(addr),
+            op: OpClass::CondBranch,
+            dest: None,
+            srcs: [None, None],
+            next_pc: Addr::new(if taken { target } else { addr + 4 }),
+            ctrl: Some(fetchmech_isa::DynCtrl {
+                branch_id: None,
+                taken,
+                target: Addr::new(target),
+                link: None,
+            }),
+        };
+        let alu = |addr: u64| DynInst::simple(Addr::new(addr), OpClass::IntAlu, None, [None, None]);
+        let mut t = Vec::new();
+        for _ in 0..3 {
+            t.extend_from_slice(&[alu(0x100), alu(0x104), branch(0x108, true, 0x100)]);
+        }
+        t.extend_from_slice(&[
+            alu(0x100),
+            alu(0x104),
+            branch(0x108, false, 0x100),
+            alu(0x10c),
+        ]);
+        t
+    }
+
+    #[test]
+    fn block_cursor_matches_trace_cursor() {
+        let trace = looped_trace();
+        let stream = std::sync::Arc::new(BlockStream::from_insts(&trace));
+        let mut b = BlockCursor::new(stream);
+        let mut t = TraceCursor::new(trace.clone());
+        let mut consumed = 0usize;
+        for step in [1usize, 2, 4, 0, 3, 1, 2] {
+            for k in 0..8 {
+                assert_eq!(b.peek(k), t.peek(k), "peek {k} after {consumed}");
+            }
+            let n = step.min(t.remaining());
+            b.consume(n);
+            t.consume(n);
+            consumed += n;
+            assert_eq!(b.is_done(), t.is_done());
+            assert_eq!(b.remaining(), t.remaining() as u64);
+        }
+        assert_eq!(b.pos(), consumed as u64);
+    }
+
+    #[test]
+    fn block_cursor_iter_ahead_matches_tail() {
+        let trace = looped_trace();
+        let stream = std::sync::Arc::new(BlockStream::from_insts(&trace));
+        let mut b = BlockCursor::new(stream);
+        b.consume(4);
+        let ahead: Vec<DynInst> = b.iter_ahead().copied().collect();
+        assert_eq!(ahead, trace[4..]);
+    }
+
+    #[test]
+    fn block_cursor_run_is_segment_remainder() {
+        let trace = looped_trace();
+        let stream = std::sync::Arc::new(BlockStream::from_insts(&trace));
+        let mut b = BlockCursor::new(stream);
+        let (_, off, t) = b.run().unwrap();
+        assert_eq!(off, 0);
+        assert_eq!(t.len(), 3);
+        b.consume(1);
+        let (_, off, t) = b.run().unwrap();
+        assert_eq!(off, 1);
+        assert_eq!(&t.insts()[off..], &trace[1..3]);
+        b.consume(t.len() - off);
+        let (_, off, _) = b.run().unwrap();
+        assert_eq!(off, 0);
+        b.consume(b.remaining() as usize);
+        assert!(b.run().is_none());
+        assert!(b.is_done());
+    }
+
+    #[test]
+    #[should_panic(expected = "past end")]
+    fn block_cursor_overconsume_panics() {
+        let trace = looped_trace();
+        let stream = std::sync::Arc::new(BlockStream::from_insts(&trace));
+        let mut b = BlockCursor::new(stream);
+        b.consume(trace.len() + 1);
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub mod machine;
 pub mod ooo;
 pub mod scheme;
 
-pub use fetch::{FetchPacket, FetchUnit, FetchedInst, TraceCursor};
+pub use fetch::{BlockCursor, FetchPacket, FetchUnit, FetchedInst, TraceCursor};
 pub use machine::MachineModel;
-pub use ooo::{OooConfig, OooCore, OooStats, Resolved};
+pub use ooo::{OooConfig, OooCore, OooStats, Resolved, StreamCore};
 pub use scheme::{ParseSchemeError, SchemeKind};

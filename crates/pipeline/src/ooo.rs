@@ -366,6 +366,329 @@ impl OooCore {
     }
 }
 
+/// Sequence-number sentinel for "no dependence" in [`StreamCore`].
+const SEQ_NONE: u64 = u64::MAX;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SState {
+    InWindow,
+    Exec,
+    Done,
+}
+
+#[derive(Debug, Clone)]
+struct SEntry {
+    op: OpClass,
+    mispredicted: bool,
+    deps: [u64; 2],
+    state: SState,
+    /// Head of the intrusive list of entries waiting on this one to
+    /// complete (`SEQ_NONE` = none). Drained when this entry completes.
+    waiter_head: u64,
+    /// Next entry waiting on the same producer as this one.
+    next_waiter: u64,
+}
+
+impl SEntry {
+    /// Filler for unoccupied ring slots.
+    const IDLE: Self = Self {
+        op: OpClass::Nop,
+        mispredicted: false,
+        deps: [SEQ_NONE; 2],
+        state: SState::Done,
+        waiter_head: SEQ_NONE,
+        next_waiter: SEQ_NONE,
+    };
+}
+
+/// The allocation-light out-of-order core of the block-stream fast path.
+///
+/// Cycle-for-cycle timing-identical to [`OooCore`] (the differential-oracle
+/// grid test in the core crate enforces whole-`SimResult` equality), but
+/// engineered for the hot loop:
+///
+/// * the ROB is a power-of-two ring indexed by `seq & mask` — no deque
+///   arithmetic, no per-entry allocation or destruction, and dependence
+///   readiness is a masked index lookup instead of a `HashSet` probe;
+/// * completions are event-driven through a small `done_at` bucket ring
+///   (maximum latency is 2 cycles) instead of an every-cycle ROB scan;
+/// * wakeup is event-driven too: a not-ready entry parks on an intrusive
+///   waiter list hanging off the producer it is blocked on, and is moved to
+///   the ready list when that producer completes — each dependence edge is
+///   examined O(1) times total instead of once per cycle;
+/// * [`fire`](Self::fire) walks only the *ready* list (age-ordered) and
+///   reports whether a ready entry was *starved* of a functional unit, which
+///   is what lets the simulator loop skip provably-idle cycles;
+/// * [`next_completion`](Self::next_completion) and
+///   [`front_retirable`](Self::front_retirable) expose the information the
+///   skip logic needs to stay exact (retirement of a completed backlog
+///   proceeds on cycles with no completions, so skips must not jump it).
+#[derive(Debug)]
+pub struct StreamCore {
+    cfg: OooConfig,
+    /// Oldest in-flight sequence number; live slots are
+    /// `front_seq..next_seq`.
+    front_seq: u64,
+    next_seq: u64,
+    /// Ring of in-flight entries, indexed by `seq & rob_mask`.
+    rob: Box<[SEntry]>,
+    rob_mask: u64,
+    /// Sequence numbers of `InWindow` entries whose dependences have all
+    /// completed, ascending (age order). Entries with an outstanding
+    /// dependence are parked on that producer's waiter list instead.
+    ready: Vec<u64>,
+    /// Count of `InWindow` entries (ready or waiting).
+    in_window: u32,
+    last_writer: [u64; 64],
+    unresolved_cond: u32,
+    /// Completion events keyed by `done_at & 3`; pending `done_at`s always
+    /// lie within 2 cycles, so a ring of 4 is unambiguous.
+    buckets: [Vec<(u64, u64)>; 4],
+    pending: u32,
+    stats: OooStats,
+}
+
+impl StreamCore {
+    /// Creates an empty core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sizing field is zero.
+    #[must_use]
+    pub fn new(cfg: OooConfig) -> Self {
+        assert!(
+            cfg.issue_rate > 0 && cfg.window > 0 && cfg.rob > 0,
+            "zero-sized core"
+        );
+        assert!(
+            cfg.fxu > 0 && cfg.fpu > 0 && cfg.branch_units > 0 && cfg.mem_units > 0,
+            "every unit class needs at least one unit"
+        );
+        Self {
+            cfg,
+            front_seq: 0,
+            next_seq: 0,
+            rob: vec![SEntry::IDLE; (cfg.rob as usize).next_power_of_two()].into_boxed_slice(),
+            rob_mask: (cfg.rob as u64).next_power_of_two() - 1,
+            ready: Vec::with_capacity(cfg.window as usize),
+            in_window: 0,
+            last_writer: [SEQ_NONE; 64],
+            unresolved_cond: 0,
+            buckets: [Vec::new(), Vec::new(), Vec::new(), Vec::new()],
+            pending: 0,
+            stats: OooStats::default(),
+        }
+    }
+
+    /// Returns the configuration.
+    #[must_use]
+    pub fn config(&self) -> &OooConfig {
+        &self.cfg
+    }
+
+    /// Completes instructions finishing at `cycle`, then retires up to
+    /// `issue_rate` completed instructions in order. Returns `true` if the
+    /// `watched` sequence number (the pending mispredicted control transfer)
+    /// resolved this cycle.
+    pub fn begin_cycle(&mut self, cycle: u64, watched: Option<u64>) -> bool {
+        let mut watched_resolved = false;
+        let mut bucket = std::mem::take(&mut self.buckets[(cycle & 3) as usize]);
+        self.pending -= bucket.len() as u32;
+        for &(done_at, seq) in &bucket {
+            debug_assert_eq!(done_at, cycle, "completion event missed its cycle");
+            let e = &mut self.rob[(seq & self.rob_mask) as usize];
+            debug_assert_eq!(e.state, SState::Exec);
+            e.state = SState::Done;
+            let mut waiter = std::mem::replace(&mut e.waiter_head, SEQ_NONE);
+            if e.op == OpClass::CondBranch {
+                self.unresolved_cond -= 1;
+            }
+            if Some(seq) == watched {
+                debug_assert!(e.mispredicted);
+                watched_resolved = true;
+            }
+            // Wake the entries parked on this producer: each either becomes
+            // ready (all deps now done) or re-parks on its other
+            // still-outstanding dependence.
+            while waiter != SEQ_NONE {
+                let widx = (waiter & self.rob_mask) as usize;
+                let next = std::mem::replace(&mut self.rob[widx].next_waiter, SEQ_NONE);
+                let deps = self.rob[widx].deps;
+                match deps.into_iter().find(|&d| !self.dep_done(d)) {
+                    None => {
+                        let pos = self.ready.partition_point(|&s| s < waiter);
+                        self.ready.insert(pos, waiter);
+                    }
+                    Some(d) => self.park_waiter(d, waiter),
+                }
+                waiter = next;
+            }
+        }
+        bucket.clear();
+        self.buckets[(cycle & 3) as usize] = bucket;
+        let mut retired = 0;
+        while retired < self.cfg.issue_rate
+            && self.front_seq < self.next_seq
+            && self.rob[(self.front_seq & self.rob_mask) as usize].state == SState::Done
+        {
+            self.front_seq += 1;
+            self.stats.retired += 1;
+            retired += 1;
+        }
+        watched_resolved
+    }
+
+    /// Returns `true` if `d` no longer gates issue: no dependence, already
+    /// retired, or completed in the ROB.
+    fn dep_done(&self, d: u64) -> bool {
+        d == SEQ_NONE
+            || d < self.front_seq
+            || self.rob[(d & self.rob_mask) as usize].state == SState::Done
+    }
+
+    /// Parks `seq` on `producer`'s waiter list; it is woken (and re-examined)
+    /// when `producer` completes.
+    fn park_waiter(&mut self, producer: u64, seq: u64) {
+        let pidx = (producer & self.rob_mask) as usize;
+        debug_assert_ne!(self.rob[pidx].state, SState::Done);
+        let head = std::mem::replace(&mut self.rob[pidx].waiter_head, seq);
+        self.rob[(seq & self.rob_mask) as usize].next_waiter = head;
+    }
+
+    /// Fires ready window entries into free functional units, oldest first.
+    /// Returns `true` if a ready entry could not fire for lack of a unit —
+    /// such an entry fires on the next cycle, so idle-cycle skipping must be
+    /// suppressed.
+    pub fn fire(&mut self, cycle: u64) -> bool {
+        let mut avail = [
+            self.cfg.fxu,
+            self.cfg.fpu,
+            self.cfg.branch_units,
+            self.cfg.mem_units,
+        ];
+        let mut starved = false;
+        let mut kept = 0;
+        for r in 0..self.ready.len() {
+            let seq = self.ready[r];
+            let idx = (seq & self.rob_mask) as usize;
+            let ci = match self.rob[idx].op.fu_class() {
+                FuClass::Fxu => 0,
+                FuClass::Fpu => 1,
+                FuClass::Branch => 2,
+                FuClass::Mem => 3,
+            };
+            if avail[ci] > 0 {
+                avail[ci] -= 1;
+                let e = &mut self.rob[idx];
+                e.state = SState::Exec;
+                let done_at = cycle + u64::from(e.op.latency());
+                self.buckets[(done_at & 3) as usize].push((done_at, seq));
+                self.pending += 1;
+                self.in_window -= 1;
+                continue;
+            }
+            starved = true;
+            self.ready[kept] = seq;
+            kept += 1;
+        }
+        self.ready.truncate(kept);
+        starved
+    }
+
+    /// Returns `true` if both a window slot and a ROB slot are free.
+    #[must_use]
+    pub fn can_accept(&self) -> bool {
+        self.in_window < self.cfg.window && self.next_seq - self.front_seq < u64::from(self.cfg.rob)
+    }
+
+    /// Dispatches one instruction, renaming its sources against the
+    /// last-writer table. Returns the assigned sequence number.
+    pub fn dispatch(
+        &mut self,
+        op: OpClass,
+        dest: Option<fetchmech_isa::Reg>,
+        srcs: [Option<fetchmech_isa::Reg>; 2],
+        mispredicted: bool,
+    ) -> u64 {
+        debug_assert!(self.can_accept(), "dispatch into a full window/ROB");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let mut deps = [SEQ_NONE; 2];
+        for (slot, src) in srcs.iter().enumerate() {
+            if let Some(reg) = src {
+                deps[slot] = self.last_writer[reg.file_index()];
+            }
+        }
+        if let Some(dest) = dest {
+            self.last_writer[dest.file_index()] = seq;
+        }
+        if op == OpClass::CondBranch {
+            self.unresolved_cond += 1;
+        }
+        self.rob[(seq & self.rob_mask) as usize] = SEntry {
+            op,
+            mispredicted,
+            deps,
+            state: SState::InWindow,
+            waiter_head: SEQ_NONE,
+            next_waiter: SEQ_NONE,
+        };
+        self.in_window += 1;
+        // `seq` is the newest entry, so a plain push keeps `ready` sorted.
+        match deps.into_iter().find(|&d| !self.dep_done(d)) {
+            None => self.ready.push(seq),
+            Some(d) => self.park_waiter(d, seq),
+        }
+        self.stats.dispatched += 1;
+        seq
+    }
+
+    /// Records `n` cycles in which dispatch was blocked by a full window.
+    pub fn note_window_full(&mut self, n: u64) {
+        self.stats.window_full_cycles += n;
+    }
+
+    /// The earliest cycle at which an in-flight instruction completes, if
+    /// any instruction is executing.
+    #[must_use]
+    pub fn next_completion(&self) -> Option<u64> {
+        if self.pending == 0 {
+            return None;
+        }
+        self.buckets
+            .iter()
+            .flat_map(|b| b.iter().map(|&(done_at, _)| done_at))
+            .min()
+    }
+
+    /// Returns `true` if the front ROB entry has completed and will retire
+    /// on the next [`begin_cycle`](Self::begin_cycle) — cycles with a
+    /// retirable backlog cannot be skipped.
+    #[must_use]
+    pub fn front_retirable(&self) -> bool {
+        self.front_seq < self.next_seq
+            && self.rob[(self.front_seq & self.rob_mask) as usize].state == SState::Done
+    }
+
+    /// Number of dispatched conditional branches not yet executed.
+    #[must_use]
+    pub fn unresolved_cond(&self) -> u32 {
+        self.unresolved_cond
+    }
+
+    /// Returns `true` when no instructions remain in flight.
+    #[must_use]
+    pub fn drained(&self) -> bool {
+        self.front_seq == self.next_seq
+    }
+
+    /// Returns core statistics.
+    #[must_use]
+    pub fn stats(&self) -> OooStats {
+        self.stats
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -595,6 +918,129 @@ mod tests {
         assert!(resolved.is_empty());
         assert!(core.drained());
         assert_eq!(core.stats().retired, 2);
+    }
+
+    #[test]
+    fn stream_core_matches_ooo_core_in_lockstep() {
+        // Drive OooCore and StreamCore with an identical per-cycle policy
+        // over a deterministic pseudo-random instruction mix and demand
+        // cycle-exact agreement on every observable.
+        let mut rng = fetchmech_isa::rng::Pcg64::new(0x5eed_cafe);
+        for trial in 0..20 {
+            let n = 50 + (rng.next_u64() % 200) as usize;
+            let insts: Vec<FetchedInst> = (0..n)
+                .map(|_| {
+                    let r = rng.next_u64();
+                    let op = match r % 8 {
+                        0 | 1 => OpClass::IntAlu,
+                        2 => OpClass::FpAdd,
+                        3 => OpClass::FpMul,
+                        4 => OpClass::Load,
+                        5 => OpClass::Store,
+                        6 => OpClass::CondBranch,
+                        _ => OpClass::Jump,
+                    };
+                    let dest =
+                        (!(r >> 8).is_multiple_of(3)).then(|| Reg::int(((r >> 16) % 8) as u8));
+                    let src = |shift: u32| {
+                        (r >> shift)
+                            .is_multiple_of(2)
+                            .then(|| Reg::int(((r >> (shift + 4)) % 8) as u8))
+                    };
+                    let ctrl = op.is_control().then_some(DynCtrl {
+                        branch_id: None,
+                        taken: r.is_multiple_of(2),
+                        target: Addr::new(0x2000),
+                        link: None,
+                    });
+                    FetchedInst {
+                        inst: DynInst {
+                            addr: Addr::new(0x1000),
+                            op,
+                            dest,
+                            srcs: [src(24), src(32)],
+                            next_pc: Addr::new(0x1004),
+                            ctrl,
+                        },
+                        mispredicted: false,
+                    }
+                })
+                .collect();
+
+            let mut a = OooCore::new(cfg());
+            let mut b = StreamCore::new(cfg());
+            let mut next = 0;
+            let mut cycle = 0u64;
+            loop {
+                let resolved = a.begin_cycle(cycle);
+                b.begin_cycle(cycle, None);
+                let _ = resolved;
+                a.fire(cycle);
+                b.fire(cycle);
+                let mut dispatched = 0;
+                while next < insts.len() && dispatched < a.config().issue_rate && a.can_accept() {
+                    assert!(
+                        b.can_accept(),
+                        "trial {trial} cycle {cycle}: accept mismatch"
+                    );
+                    let sa = a.dispatch(&insts[next]);
+                    let i = &insts[next].inst;
+                    let sb = b.dispatch(i.op, i.dest, i.srcs, false);
+                    assert_eq!(sa, sb);
+                    next += 1;
+                    dispatched += 1;
+                }
+                assert_eq!(
+                    a.can_accept(),
+                    b.can_accept(),
+                    "trial {trial} cycle {cycle}"
+                );
+                assert_eq!(
+                    a.unresolved_cond(),
+                    b.unresolved_cond(),
+                    "trial {trial} cycle {cycle}"
+                );
+                assert_eq!(a.drained(), b.drained(), "trial {trial} cycle {cycle}");
+                a.audit_invariants().expect("oracle invariants");
+                cycle += 1;
+                if next == insts.len() && a.drained() {
+                    break;
+                }
+                assert!(cycle < 100_000, "runaway trial {trial}");
+            }
+            assert_eq!(a.stats().retired, b.stats().retired, "trial {trial}");
+            assert_eq!(a.stats().dispatched, b.stats().dispatched);
+            assert!(b.drained());
+            assert_eq!(b.next_completion(), None);
+            assert!(!b.front_retirable());
+        }
+    }
+
+    #[test]
+    fn stream_core_starved_fire_is_reported() {
+        let tight = OooConfig {
+            issue_rate: 4,
+            window: 16,
+            rob: 32,
+            fxu: 1,
+            fpu: 1,
+            branch_units: 1,
+            mem_units: 1,
+        };
+        let mut core = StreamCore::new(tight);
+        core.begin_cycle(0, None);
+        assert!(!core.fire(0), "empty window is not starved");
+        // Two independent ALU ops, one FXU: the second is ready but starved.
+        core.dispatch(OpClass::IntAlu, None, [None, None], false);
+        core.dispatch(OpClass::IntAlu, None, [None, None], false);
+        core.begin_cycle(1, None);
+        assert!(
+            core.fire(1),
+            "ready entry denied a unit must report starved"
+        );
+        assert_eq!(core.next_completion(), Some(2));
+        core.begin_cycle(2, None);
+        assert!(!core.fire(2), "lone remaining op fires unstarved");
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub mod asm;
 pub mod behavior;
 pub mod exec;
 pub mod spec;
+pub mod stream;
 pub mod suite;
 
 pub use asm::{parse_asm, AsmError, AsmProgram};

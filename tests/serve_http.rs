@@ -25,6 +25,21 @@ const EXP: ExpConfig = ExpConfig {
     profile_len: 2_000,
 };
 
+/// A simulation long enough to keep a worker visibly busy while a test
+/// stages requests behind it. Release-mode block-stream runs retire well
+/// over ten million instructions per second on one core, so release needs a
+/// much longer trace than debug builds (whose every run also executes the
+/// cycle-level sanitizer and its per-instruction oracle).
+const SLOW_INSTS: u64 = if cfg!(debug_assertions) {
+    120_000
+} else {
+    3_000_000
+};
+
+fn slow_job_body() -> String {
+    format!("{{\"bench\": \"gcc\", \"insts\": {SLOW_INSTS}, \"deadline_ms\": 120000}}")
+}
+
 fn test_config() -> ServeConfig {
     ServeConfig {
         addr: "127.0.0.1:0".to_string(),
@@ -207,20 +222,14 @@ fn full_queue_sheds_with_429_and_coalesces_identical_work() {
     let config = ServeConfig {
         threads: Some(1),
         queue_capacity: 1,
+        max_insts: SLOW_INSTS,
         ..test_config()
     };
     let server = Server::start(config).expect("server start");
     let addr = server.addr();
 
     // Occupy the single worker with a long simulation.
-    let slow = thread::spawn(move || {
-        http(
-            addr,
-            "POST",
-            "/v1/simulate",
-            "{\"bench\": \"gcc\", \"insts\": 120000, \"deadline_ms\": 120000}",
-        )
-    });
+    let slow = thread::spawn(move || http(addr, "POST", "/v1/simulate", &slow_job_body()));
     wait_for(addr, "the slow job to start", |m| {
         metric_u64(m, "jobs", "running") == 1
     });
@@ -274,19 +283,13 @@ fn full_queue_sheds_with_429_and_coalesces_identical_work() {
 fn expired_deadline_answers_504_and_skips_the_queued_job() {
     let config = ServeConfig {
         threads: Some(1),
+        max_insts: SLOW_INSTS,
         ..test_config()
     };
     let server = Server::start(config).expect("server start");
     let addr = server.addr();
 
-    let slow = thread::spawn(move || {
-        http(
-            addr,
-            "POST",
-            "/v1/simulate",
-            "{\"bench\": \"gcc\", \"insts\": 120000, \"deadline_ms\": 120000}",
-        )
-    });
+    let slow = thread::spawn(move || http(addr, "POST", "/v1/simulate", &slow_job_body()));
     wait_for(addr, "the slow job to start", |m| {
         metric_u64(m, "jobs", "running") == 1
     });
@@ -425,19 +428,13 @@ fn stalled_and_half_closed_clients_cannot_pin_workers() {
 fn shutdown_drains_in_flight_requests() {
     let config = ServeConfig {
         threads: Some(1),
+        max_insts: SLOW_INSTS,
         ..test_config()
     };
     let server = Server::start(config).expect("server start");
     let addr = server.addr();
 
-    let inflight = thread::spawn(move || {
-        http(
-            addr,
-            "POST",
-            "/v1/simulate",
-            "{\"bench\": \"sc\", \"insts\": 60000, \"deadline_ms\": 120000}",
-        )
-    });
+    let inflight = thread::spawn(move || http(addr, "POST", "/v1/simulate", &slow_job_body()));
     wait_for(addr, "the in-flight job to start", |m| {
         metric_u64(m, "jobs", "running") == 1
     });
