@@ -35,6 +35,15 @@ cargo run -q -p fetchmech-repro --bin fetchmech-lint -- sanitize --short
 echo "==> fetchmech-lint analyze (dataflow + static fetch geometry, full suite)"
 cargo run -q -p fetchmech-repro --bin fetchmech-lint -- analyze --insts 4000 --json >/dev/null
 
+echo "==> fetchmech-lint opt (pass pipeline + translation validation, full suite)"
+cargo run -q -p fetchmech-repro --bin fetchmech-lint -- opt --verify --insts 4000 --json >/dev/null
+# The validator must also still CATCH a broken pass: the self-test corrupts
+# a pipeline result in-process and is required to exit nonzero.
+if cargo run -q -p fetchmech-repro --bin fetchmech-lint -- opt --self-test >/dev/null 2>&1; then
+    echo "opt --self-test failed to flag the corrupted pipeline" >&2
+    exit 1
+fi
+
 echo "==> cargo doc --workspace --no-deps (warnings fatal)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 

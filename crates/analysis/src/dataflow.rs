@@ -246,116 +246,10 @@ pub fn reachability(program: &Program) -> Vec<bool> {
 // Dominators
 // ---------------------------------------------------------------------------
 
-/// The dominator forest of a program: one tree per function, over the
-/// intra-procedural CFG (Cooper–Harvey–Kennedy iterative algorithm).
-#[derive(Debug, Clone)]
-pub struct Dominators {
-    idom: Vec<Option<BlockId>>,
-    rpo_index: Vec<usize>,
-}
-
-impl Dominators {
-    /// Computes immediate dominators for every block, per function.
-    /// Function entries are their own immediate dominators; blocks
-    /// unreachable from their function entry get `None`.
-    #[must_use]
-    pub fn compute(program: &Program, view: &CfgView) -> Self {
-        let n = program.num_blocks();
-        let mut idom: Vec<Option<BlockId>> = vec![None; n];
-        let mut rpo_index = vec![usize::MAX; n];
-
-        for &entry in program.func_entries() {
-            let rpo = view.reverse_postorder(entry);
-            for (i, &b) in rpo.iter().enumerate() {
-                rpo_index[b.0 as usize] = i;
-            }
-            idom[entry.0 as usize] = Some(entry);
-            let mut changed = true;
-            while changed {
-                changed = false;
-                for &b in rpo.iter().skip(1) {
-                    let mut new_idom: Option<BlockId> = None;
-                    for &p in view.predecessors(b) {
-                        if idom[p.0 as usize].is_none() {
-                            continue; // predecessor not yet processed / unreachable
-                        }
-                        new_idom = Some(match new_idom {
-                            None => p,
-                            Some(cur) => Self::intersect(&idom, &rpo_index, p, cur),
-                        });
-                    }
-                    if new_idom.is_some() && idom[b.0 as usize] != new_idom {
-                        idom[b.0 as usize] = new_idom;
-                        changed = true;
-                    }
-                }
-            }
-        }
-        Self { idom, rpo_index }
-    }
-
-    fn intersect(
-        idom: &[Option<BlockId>],
-        rpo_index: &[usize],
-        mut a: BlockId,
-        mut b: BlockId,
-    ) -> BlockId {
-        while a != b {
-            while rpo_index[a.0 as usize] > rpo_index[b.0 as usize] {
-                a = idom[a.0 as usize].expect("processed block has idom");
-            }
-            while rpo_index[b.0 as usize] > rpo_index[a.0 as usize] {
-                b = idom[b.0 as usize].expect("processed block has idom");
-            }
-        }
-        a
-    }
-
-    /// The immediate dominator of `block` (`Some(block)` itself for
-    /// function entries, `None` for blocks unreachable from their entry).
-    #[must_use]
-    pub fn idom(&self, block: BlockId) -> Option<BlockId> {
-        self.idom[block.0 as usize]
-    }
-
-    /// Returns `true` if `a` dominates `b` (reflexively).
-    #[must_use]
-    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
-        let mut cur = b;
-        loop {
-            if cur == a {
-                return true;
-            }
-            match self.idom[cur.0 as usize] {
-                Some(parent) if parent != cur => cur = parent,
-                _ => return false,
-            }
-        }
-    }
-
-    /// Depth of `block` in its dominator tree (entries are depth 0;
-    /// unreachable blocks report 0).
-    #[must_use]
-    pub fn depth(&self, block: BlockId) -> usize {
-        let mut depth = 0;
-        let mut cur = block;
-        while let Some(parent) = self.idom[cur.0 as usize] {
-            if parent == cur {
-                break;
-            }
-            depth += 1;
-            cur = parent;
-        }
-        depth
-    }
-
-    /// Reverse-postorder index assigned during construction (`usize::MAX`
-    /// for blocks no function entry reaches).
-    #[must_use]
-    pub fn rpo_index(&self, block: BlockId) -> usize {
-        self.rpo_index[block.0 as usize]
-    }
-}
+// The dominator tree moved to `fetchmech_isa::dom` so the compiler's SSA
+// construction can use it (this crate depends on the compiler, not the other
+// way around); re-exported here for existing callers.
+pub use fetchmech_isa::Dominators;
 
 // ---------------------------------------------------------------------------
 // Liveness

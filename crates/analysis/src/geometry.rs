@@ -407,6 +407,82 @@ pub fn analyze_geometry(
     }
 }
 
+/// Static predicted EIR under `scheme`: expected delivered instructions
+/// per fetch cycle, from a profile-derived *restart* model of the layout.
+///
+/// The fetch stream is modeled as a sequence of straight-line *runs*: each
+/// run begins where fetch redirects (a restart), streams layout-contiguous
+/// instructions in scheme-sized packets ([`MachineModel::
+/// straight_line_packet`]), and ends at the next redirect. `weights[b]` is
+/// how often a run starts at block `b`'s entry (see the pass pipeline's
+/// restart weighting) and `run_insts[b]` the expected laid-instruction
+/// length of that run. The prediction is then
+///
+/// ```text
+///              sum_b w_b * L_b
+///   -------------------------------------------------------
+///   sum_b w_b * (packets(entry_offset_b, L_b) + REDIRECT)
+/// ```
+///
+/// — total instructions over total fetch cycles, where every run charges
+/// its packet count *plus one redirect cycle* ([`REDIRECT_CYCLES`]): the
+/// expected delivery gap while fetch steers to the run's start (BTB lookup,
+/// amortized misprediction and miss costs). Unlike a mean of entry packets,
+/// this credits transforms that make runs *longer and rarer* (branch
+/// straightening, superblock formation) twice over: fewer restarts amortize
+/// both the partial packet wasted at every run boundary and the redirect
+/// charge itself. The banked schemes' across-taken crossing is ignored
+/// (runs still end at every redirect), a consistent under-credit on both
+/// sides of a delta; the perfect scheme has no geometry constraint and
+/// predicts the issue rate outright.
+#[must_use]
+pub fn predicted_eir(
+    program: &Program,
+    layout: &Layout,
+    machine: &MachineModel,
+    scheme: SchemeKind,
+    weights: &[f64],
+    run_insts: &[f64],
+) -> f64 {
+    /// Expected extra fetch cycles charged per redirect (run start): the
+    /// steering gap a taken transfer costs the delivery stream even when
+    /// predicted, with misprediction and BTB-miss penalties amortized in.
+    /// One cycle is deliberately coarse — the predictor is a *delta* model,
+    /// and any constant redirect cost cancels between two layouts with the
+    /// same restart flow while penalizing the one that restarts more.
+    const REDIRECT_CYCLES: f64 = 1.0;
+    if scheme == SchemeKind::Perfect {
+        return f64::from(machine.issue_rate);
+    }
+    let mut insts = 0.0;
+    let mut packets = 0.0;
+    for i in 0..program.num_blocks() {
+        let w = weights.get(i).copied().unwrap_or(0.0);
+        let run = run_insts.get(i).copied().unwrap_or(0.0);
+        if w <= 0.0 || run <= 0.0 {
+            continue;
+        }
+        let mut offset = layout
+            .block_addr(BlockId(i as u32))
+            .offset_words(machine.block_bytes);
+        let mut remaining = run;
+        let mut cycles = 0.0;
+        while remaining > 1e-9 {
+            let take = f64::from(machine.straight_line_packet(scheme, offset));
+            offset += take as u64;
+            remaining -= take;
+            cycles += 1.0;
+        }
+        insts += w * run;
+        packets += w * (cycles + REDIRECT_CYCLES);
+    }
+    if packets == 0.0 {
+        0.0
+    } else {
+        (insts / packets).min(f64::from(machine.issue_rate))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -8,10 +8,10 @@
 //! trace-diff pass is *not* hooked — it executes tens of thousands of
 //! instructions per check and is meant for explicit lint runs.
 
-use fetchmech_compiler::{Profile, Reordered, Trace};
+use fetchmech_compiler::{Optimized, Profile, Reordered, Trace};
 use fetchmech_isa::{Layout, Program};
 
-use crate::diag::{has_errors, report_human, Diagnostic};
+use crate::diag::{has_errors, report_human, Diagnostic, DiagnosticSink};
 
 fn gate(diags: Vec<Diagnostic>) -> Result<(), String> {
     if has_errors(&diags) {
@@ -41,6 +41,16 @@ fn reorder_hook(original: &Program, reordered: &Reordered) -> Result<(), String>
     gate(crate::verify_transform(original, reordered))
 }
 
+/// Static translation validation only: the hook fires inside `optimize`,
+/// where no profile or behaviour models are in scope, so flow conservation
+/// and the dynamic trace checks are left to explicit `verify_optimized`
+/// runs (the `fetchmech-lint opt --verify` path).
+fn optimize_hook(original: &Program, optimized: &Optimized) -> Result<(), String> {
+    let mut sink = DiagnosticSink::new();
+    crate::optverify::check_opt_static(original, optimized, None, &mut sink);
+    gate(sink.into_diagnostics())
+}
+
 /// Installs every verifier as a debug-build construction hook.
 ///
 /// Idempotent and race-free: hook slots are first-install-wins, so calling
@@ -53,5 +63,6 @@ pub fn install_debug_hooks() -> bool {
     any |= fetchmech_compiler::hooks::install_profile_hook(profile_hook);
     any |= fetchmech_compiler::hooks::install_traces_hook(traces_hook);
     any |= fetchmech_compiler::hooks::install_reorder_hook(reorder_hook);
+    any |= fetchmech_compiler::hooks::install_optimize_hook(optimize_hook);
     any
 }

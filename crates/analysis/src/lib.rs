@@ -19,6 +19,12 @@
 //!   ([`flow::FlowPass`]), and transform equivalence
 //!   ([`transform::TracesPass`], [`transform::TransformPass`],
 //!   [`transform::TraceDiffPass`]),
+//! * translation validation for the compiler's SSA-era pass pipeline
+//!   ([`optverify::OptVerifyPass`]): an SSA well-formedness lint, per-pass
+//!   re-proof of every declared edit, profile flow conservation across each
+//!   transform, and dynamic observable-trace equivalence
+//!   ([`verify_optimized`]), plus the static EIR-delta report
+//!   ([`eir_delta`]),
 //! * debug-build construction hooks ([`install_debug_hooks`]) so every
 //!   artifact built anywhere in the process is verified at its source,
 //! * the cycle-level [`sanitize`] engine ([`CycleSanitizer`]), which audits
@@ -52,6 +58,7 @@ pub mod diag;
 pub mod flow;
 pub mod geometry;
 pub mod hooks;
+pub mod optverify;
 pub mod registry;
 pub mod sanitize;
 pub mod stream;
@@ -63,15 +70,21 @@ pub use dataflow::{
     Direction, Dominators, Facts, ReachingDefs,
 };
 pub use diag::{has_errors, report_human, Diagnostic, DiagnosticSink, Location, Severity};
-pub use geometry::{analyze_geometry, BlockGeometry, GeometryReport, SchemeGeometry};
+pub use geometry::{
+    analyze_geometry, predicted_eir, BlockGeometry, GeometryReport, SchemeGeometry,
+};
 pub use hooks::install_debug_hooks;
+pub use optverify::{
+    check_app_dynamic, check_application, check_opt_static, check_optimized, check_program_ssa,
+    check_ssa, eir_delta, EirDelta, OptVerifyPass, WeightedEir, OPT_RULES,
+};
 pub use registry::{Pass, Registry, Target};
 pub use sanitize::{
     check_scheme_dominance, check_static_bound, CycleSanitizer, FetchEnv, SanitizeConfig,
 };
 pub use stream::{check_stream, StreamPass};
 
-use fetchmech_compiler::{Profile, Reordered, Trace, TraceSelectConfig};
+use fetchmech_compiler::{Optimized, Profile, Reordered, Trace, TraceSelectConfig};
 use fetchmech_isa::{Layout, Program};
 use fetchmech_workloads::Workload;
 
@@ -136,6 +149,23 @@ pub fn verify_trace_diff(
     Registry::with_default_passes().run(&Target::TraceDiff {
         workload,
         reordered,
+        insts,
+    })
+}
+
+/// Translation-validates an optimization-pipeline result: static rules plus
+/// per-application dynamic trace equivalence over `insts` instructions.
+#[must_use]
+pub fn verify_optimized(
+    workload: &Workload,
+    profile: &Profile,
+    optimized: &Optimized,
+    insts: u64,
+) -> Vec<Diagnostic> {
+    Registry::with_default_passes().run(&Target::Opt {
+        workload,
+        profile,
+        optimized,
         insts,
     })
 }

@@ -3,7 +3,7 @@
 
 use std::fmt;
 
-use fetchmech_compiler::{Profile, Reordered, Trace, TraceSelectConfig};
+use fetchmech_compiler::{Optimized, Profile, Reordered, Trace, TraceSelectConfig};
 use fetchmech_isa::{BlockStream, Layout, Program};
 use fetchmech_workloads::Workload;
 
@@ -60,6 +60,19 @@ pub enum Target<'a> {
         /// Dynamic instructions to execute on each side.
         insts: u64,
     },
+    /// An optimization-pipeline result: translation-validate every recorded
+    /// pass application, statically and dynamically.
+    Opt {
+        /// The workload the pipeline started from (its program is the
+        /// pipeline input).
+        workload: &'a Workload,
+        /// The profile the pipeline was driven by.
+        profile: &'a Profile,
+        /// The pipeline result with its per-pass applications.
+        optimized: &'a Optimized,
+        /// Dynamic instructions to execute per application side.
+        insts: u64,
+    },
 }
 
 impl fmt::Debug for Target<'_> {
@@ -72,6 +85,7 @@ impl fmt::Debug for Target<'_> {
             Target::Transform { .. } => "Transform",
             Target::Stream(_) => "Stream",
             Target::TraceDiff { .. } => "TraceDiff",
+            Target::Opt { .. } => "Opt",
         };
         write!(f, "Target::{name}")
     }
@@ -125,6 +139,7 @@ impl Registry {
         r.register(Box::new(crate::transform::TracesPass));
         r.register(Box::new(crate::transform::TransformPass));
         r.register(Box::new(crate::transform::TraceDiffPass));
+        r.register(Box::new(crate::optverify::OptVerifyPass));
         r.register(Box::new(crate::stream::StreamPass));
         r.register(Box::new(crate::dataflow::DataflowPass::default()));
         r.register(Box::new(crate::sanitize::SanitizerCatalogPass));
@@ -183,6 +198,12 @@ mod tests {
             fetchmech_isa::Layout::natural(&w.program, fetchmech_isa::LayoutOptions::new(16))
                 .expect("layout");
         let stream = w.block_stream(&layout, InputId::TEST, 2_000);
+        let optimized = fetchmech_compiler::optimize(
+            &w.program,
+            &profile,
+            &fetchmech_compiler::PassKind::ALL,
+            &fetchmech_compiler::OptimizeConfig::default(),
+        );
         let targets = [
             Target::Program(&w.program),
             Target::Layout {
@@ -208,6 +229,12 @@ mod tests {
                 insts: 2_000,
             },
             Target::Stream(&stream),
+            Target::Opt {
+                workload: &w,
+                profile: &profile,
+                optimized: &optimized,
+                insts: 2_000,
+            },
         ];
         for target in &targets {
             let applicable = r.passes().iter().filter(|p| p.applies(target)).count();

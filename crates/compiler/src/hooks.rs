@@ -11,6 +11,7 @@ use std::sync::OnceLock;
 
 use fetchmech_isa::Program;
 
+use crate::passes::Optimized;
 use crate::profile::Profile;
 use crate::reorder::Reordered;
 use crate::traceselect::Trace;
@@ -24,9 +25,16 @@ pub type TracesHook = fn(&Program, &[Trace]) -> Result<(), String>;
 /// Verification callback for reorder output (original program first).
 pub type ReorderHook = fn(&Program, &Reordered) -> Result<(), String>;
 
+/// Verification callback for optimization-pipeline output (original program
+/// first). Static translation validation only — the hook runs on every
+/// `optimize` call, so dynamic trace comparison is left to explicit
+/// verification entry points.
+pub type OptimizeHook = fn(&Program, &Optimized) -> Result<(), String>;
+
 static PROFILE_HOOK: OnceLock<ProfileHook> = OnceLock::new();
 static TRACES_HOOK: OnceLock<TracesHook> = OnceLock::new();
 static REORDER_HOOK: OnceLock<ReorderHook> = OnceLock::new();
+static OPTIMIZE_HOOK: OnceLock<OptimizeHook> = OnceLock::new();
 
 /// Installs the process-wide profile hook. Returns `false` if one was
 /// already installed (the first installation wins).
@@ -44,6 +52,12 @@ pub fn install_traces_hook(hook: TracesHook) -> bool {
 /// already installed (the first installation wins).
 pub fn install_reorder_hook(hook: ReorderHook) -> bool {
     REORDER_HOOK.set(hook).is_ok()
+}
+
+/// Installs the process-wide optimize hook. Returns `false` if one was
+/// already installed (the first installation wins).
+pub fn install_optimize_hook(hook: OptimizeHook) -> bool {
+    OPTIMIZE_HOOK.set(hook).is_ok()
 }
 
 /// Runs the installed profile hook, if any, in debug builds.
@@ -86,6 +100,21 @@ pub(crate) fn check_reorder(original: &Program, reordered: &Reordered) {
         if let Some(hook) = REORDER_HOOK.get() {
             if let Err(report) = hook(original, reordered) {
                 panic!("reorder verification hook rejected the transform:\n{report}");
+            }
+        }
+    }
+}
+
+/// Runs the installed optimize hook, if any, in debug builds.
+///
+/// # Panics
+///
+/// Panics with the hook's report if the pipeline output is rejected.
+pub(crate) fn check_optimize(original: &Program, optimized: &Optimized) {
+    if cfg!(debug_assertions) {
+        if let Some(hook) = OPTIMIZE_HOOK.get() {
+            if let Err(report) = hook(original, optimized) {
+                panic!("optimize verification hook rejected the pipeline output:\n{report}");
             }
         }
     }

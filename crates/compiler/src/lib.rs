@@ -9,7 +9,11 @@
 //! * [`reorder()`](reorder()) — trace layout with branch-sense inversion
 //!   (code reordering, Figure 12 / Table 3),
 //! * [`pad`] — the `pad-all` and `pad-trace` nop-insertion schemes
-//!   (Figure 13 / Table 4).
+//!   (Figure 13 / Table 4),
+//! * [`optimize`] — the SSA-era pass pipeline ([`lvn()`](lvn()),
+//!   [`dce()`](dce()), [`superblock()`](superblock()), branch
+//!   straightening), each application recorded for translation validation
+//!   by the analysis crate.
 //!
 //! # Examples
 //!
@@ -29,13 +33,23 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod dce;
 pub mod hooks;
+pub mod lvn;
 pub mod pad;
+pub mod passes;
 pub mod profile;
 pub mod reorder;
+pub mod ssa;
+pub mod superblock;
 pub mod traceselect;
 
+pub use dce::{dce, dead_inst_sites, value_liveness, DceResult, DeadSite};
+pub use lvn::{copy_op, lvn, lvn_pure, LvnResult, LvnRewrite};
 pub use pad::{expansion, layout_pad_all, PadReport};
+pub use passes::{optimize, OptimizeConfig, Optimized, PassApplication, PassEdit, PassKind};
 pub use profile::Profile;
 pub use reorder::{reorder, Reordered};
+pub use ssa::{build_ssa, PhiNode, SsaDef, SsaForm, SsaValue};
+pub use superblock::{superblock, SuperblockResult};
 pub use traceselect::{select_traces, Trace, TraceSelectConfig};

@@ -1,0 +1,235 @@
+//! Local value numbering with redundancy rewriting.
+//!
+//! Within each basic block, pure computations (`IntAlu`, `IntMul`, `FpAdd`,
+//! `FpMul` with a destination) are value-numbered over `(op, vn(src0),
+//! vn(src1), imm)`. When a computation's value was already computed *and
+//! some register still holds it*, the instruction is rewritten to a
+//! register-to-register copy from that holder (`IntAlu`/`FpAdd` with a
+//! single source and zero immediate — the ISA's move idiom). The
+//! holder-availability condition is the classic LVN trap: a value that was
+//! computed but whose every holder has since been clobbered must *not* be
+//! merged, and the translation-validation layer re-derives availability
+//! independently to catch exactly that bug.
+//!
+//! The value-numbering here intentionally mirrors (but does not call) the
+//! analysis crate's `local_value_numbering`: two implementations, one
+//! cross-check.
+
+use fetchmech_isa::{BlockId, Inst, OpClass, Program, Reg};
+
+/// One rewritten instruction: the site and its before/after forms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LvnRewrite {
+    /// Containing block.
+    pub block: BlockId,
+    /// Body-instruction index within the block.
+    pub inst: usize,
+    /// The original (redundant) computation.
+    pub before: Inst,
+    /// The copy it was rewritten to.
+    pub after: Inst,
+}
+
+/// The result of running [`lvn`] over every block.
+#[derive(Debug, Clone)]
+pub struct LvnResult {
+    /// The program with redundant computations rewritten to copies.
+    pub program: Program,
+    /// Every rewrite, sorted by `(block, inst)`.
+    pub rewrites: Vec<LvnRewrite>,
+}
+
+/// Is this op a pure computation LVN may merge?
+#[must_use]
+pub fn lvn_pure(op: OpClass) -> bool {
+    matches!(
+        op,
+        OpClass::IntAlu | OpClass::IntMul | OpClass::FpAdd | OpClass::FpMul
+    )
+}
+
+/// The move idiom for a value class: copies stay in the source's register
+/// file so functional-unit pressure is untouched.
+#[must_use]
+pub fn copy_op(op: OpClass) -> OpClass {
+    match op {
+        OpClass::FpAdd | OpClass::FpMul => OpClass::FpAdd,
+        _ => OpClass::IntAlu,
+    }
+}
+
+const NUM_REGS: usize = 64;
+const FRESH_BASE: u32 = NUM_REGS as u32;
+
+/// Rewrites redundant pure computations in every block of `program`.
+///
+/// # Panics
+///
+/// Panics if the edited program fails re-validation (body rewrites cannot
+/// break structural invariants).
+#[must_use]
+pub fn lvn(program: &Program) -> LvnResult {
+    let mut edit = program.edit();
+    let mut rewrites = Vec::new();
+
+    for b in 0..program.num_blocks() {
+        let block = BlockId(b as u32);
+        // vn per register: registers start holding distinct unknown values
+        // (vn = file index); fresh values number from 64.
+        let mut reg_vn: [u32; NUM_REGS] = [0; NUM_REGS];
+        for (i, vn) in reg_vn.iter_mut().enumerate() {
+            *vn = i as u32;
+        }
+        let mut next_vn = FRESH_BASE;
+        let mut table: Vec<((OpClass, u32, u32, i8), u32)> = Vec::new();
+
+        for (i, inst) in program.block(block).insts.iter().enumerate() {
+            let (Some(dest), true) = (inst.dest, lvn_pure(inst.op)) else {
+                // Impure or destination-less ops clobber nothing here
+                // (loads still write their dest below — handle the dest).
+                if let Some(dest) = inst.dest {
+                    reg_vn[dest.file_index()] = next_vn;
+                    next_vn += 1;
+                }
+                continue;
+            };
+            let vn_of = |r: Option<Reg>, regs: &[u32; NUM_REGS]| {
+                r.map_or(u32::MAX, |r| regs[r.file_index()])
+            };
+            let key = (
+                inst.op,
+                vn_of(inst.srcs[0], &reg_vn),
+                vn_of(inst.srcs[1], &reg_vn),
+                inst.imm,
+            );
+            let vn = match table.iter().find(|(k, _)| *k == key) {
+                Some(&(_, vn)) => {
+                    // Redundant computation — but only rewrite when some
+                    // register still holds the value (availability).
+                    let holder = reg_vn
+                        .iter()
+                        .position(|&r| r == vn)
+                        .map(Reg::from_file_index);
+                    if let Some(holder) = holder {
+                        let after = Inst::new(copy_op(inst.op), Some(dest), [Some(holder), None]);
+                        edit.insts_mut(block)[i] = after;
+                        rewrites.push(LvnRewrite {
+                            block,
+                            inst: i,
+                            before: *inst,
+                            after,
+                        });
+                    }
+                    vn
+                }
+                None => {
+                    let vn = next_vn;
+                    next_vn += 1;
+                    table.push((key, vn));
+                    vn
+                }
+            };
+            reg_vn[dest.file_index()] = vn;
+        }
+    }
+
+    LvnResult {
+        program: edit.finish().expect("body rewrites preserve CFG structure"),
+        rewrites,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fetchmech_isa::{ProgramBuilder, Terminator};
+
+    fn single_block(insts: Vec<Inst>) -> Program {
+        let mut b = ProgramBuilder::new();
+        let f = b.begin_func();
+        let top = b.new_block(f);
+        for i in insts {
+            b.push_inst(top, i);
+        }
+        b.set_terminator(top, Terminator::Halt);
+        b.set_entry(top);
+        b.finish().expect("valid block")
+    }
+
+    #[test]
+    fn recomputation_becomes_a_copy_of_the_holder() {
+        let ra = Reg::int(4);
+        let rb = Reg::int(5);
+        let rc = Reg::int(6);
+        let rd = Reg::int(7);
+        let p = single_block(vec![
+            Inst::new(OpClass::IntAlu, Some(ra), [Some(rb), Some(rc)]),
+            Inst::new(OpClass::IntAlu, Some(rd), [Some(rb), Some(rc)]),
+        ]);
+        let result = lvn(&p);
+        assert_eq!(result.rewrites.len(), 1);
+        let rw = &result.rewrites[0];
+        assert_eq!((rw.block, rw.inst), (BlockId(0), 1));
+        assert_eq!(
+            rw.after,
+            Inst::new(OpClass::IntAlu, Some(rd), [Some(ra), None])
+        );
+        assert_eq!(result.program.block(BlockId(0)).insts[1], rw.after);
+    }
+
+    #[test]
+    fn clobbered_holder_blocks_the_merge() {
+        let ra = Reg::int(4);
+        let rb = Reg::int(5);
+        let rc = Reg::int(6);
+        let rd = Reg::int(7);
+        let p = single_block(vec![
+            Inst::new(OpClass::IntAlu, Some(ra), [Some(rb), Some(rc)]),
+            // Clobber the only holder of the value...
+            Inst::new(OpClass::IntMul, Some(ra), [Some(rd), None]),
+            // ...so this recomputation must NOT become a copy.
+            Inst::new(OpClass::IntAlu, Some(rd), [Some(rb), Some(rc)]),
+        ]);
+        let result = lvn(&p);
+        assert!(result.rewrites.is_empty(), "no live holder, no rewrite");
+        assert_eq!(result.program, p);
+    }
+
+    #[test]
+    fn copy_then_recompute_uses_any_live_holder() {
+        let ra = Reg::int(4);
+        let rb = Reg::int(5);
+        let rc = Reg::int(6);
+        let rd = Reg::int(7);
+        let re = Reg::int(8);
+        let p = single_block(vec![
+            Inst::new(OpClass::IntAlu, Some(ra), [Some(rb), Some(rc)]),
+            // rd = same value (gets rewritten to a copy of ra)...
+            Inst::new(OpClass::IntAlu, Some(rd), [Some(rb), Some(rc)]),
+            // ...ra clobbered; rd still holds the value...
+            Inst::new(OpClass::IntMul, Some(ra), [Some(rb), None]),
+            // ...so a third computation copies from rd.
+            Inst::new(OpClass::IntAlu, Some(re), [Some(rb), Some(rc)]),
+        ]);
+        let result = lvn(&p);
+        assert_eq!(result.rewrites.len(), 2);
+        assert_eq!(
+            result.rewrites[1].after,
+            Inst::new(OpClass::IntAlu, Some(re), [Some(rd), None])
+        );
+    }
+
+    #[test]
+    fn fp_copies_stay_in_the_fp_file() {
+        let fa = Reg::fp(1);
+        let fb = Reg::fp(2);
+        let fc = Reg::fp(3);
+        let p = single_block(vec![
+            Inst::new(OpClass::FpMul, Some(fa), [Some(fb), Some(fb)]),
+            Inst::new(OpClass::FpMul, Some(fc), [Some(fb), Some(fb)]),
+        ]);
+        let result = lvn(&p);
+        assert_eq!(result.rewrites.len(), 1);
+        assert_eq!(result.rewrites[0].after.op, OpClass::FpAdd);
+    }
+}

@@ -335,6 +335,23 @@ impl Program {
         Ok(prog)
     }
 
+    /// Starts a validated editing session over this program (clone-on-edit).
+    ///
+    /// This is the mutation companion to [`CfgView`]: compiler passes that
+    /// rewrite bodies, retarget terminators, or duplicate blocks build a
+    /// [`ProgramEdit`], apply their changes, and get back a fully
+    /// re-validated [`Program`] (same checks as [`ProgramBuilder::finish`],
+    /// including the debug verification hooks).
+    #[must_use]
+    pub fn edit(&self) -> ProgramEdit {
+        ProgramEdit {
+            blocks: self.blocks.clone(),
+            func_entries: self.func_entries.clone(),
+            entry: self.entry,
+            num_branches: self.num_branches,
+        }
+    }
+
     /// Decomposes the program into its raw parts.
     ///
     /// Together with [`Program::from_raw`] this is the escape hatch for
@@ -572,6 +589,113 @@ impl CfgView {
         }
         order.reverse();
         order
+    }
+}
+
+/// A validated editing session over a [`Program`].
+///
+/// Created by [`Program::edit`]. The session holds a private working copy;
+/// passes mutate bodies, retarget terminators, append duplicated blocks, and
+/// allocate fresh branch ids, then call [`ProgramEdit::finish`], which runs
+/// the full [`ProgramBuilder::finish`] validation (plus the debug
+/// verification hooks) before any `Program` escapes. An edit that breaks an
+/// invariant is therefore rejected at its construction site, not downstream.
+#[derive(Debug, Clone)]
+pub struct ProgramEdit {
+    blocks: Vec<Block>,
+    func_entries: Vec<BlockId>,
+    entry: BlockId,
+    num_branches: u32,
+}
+
+impl ProgramEdit {
+    /// Number of blocks in the working copy.
+    #[must_use]
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of allocated conditional-branch ids in the working copy.
+    #[must_use]
+    pub fn num_branches(&self) -> u32 {
+        self.num_branches
+    }
+
+    /// Returns the working copy of a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.0 as usize]
+    }
+
+    /// Mutable access to a block's body instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn insts_mut(&mut self, id: BlockId) -> &mut Vec<Inst> {
+        &mut self.blocks[id.0 as usize].insts
+    }
+
+    /// Replaces a block's terminator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn set_terminator(&mut self, id: BlockId, terminator: Terminator) {
+        self.blocks[id.0 as usize].terminator = terminator;
+    }
+
+    /// Allocates a fresh conditional-branch id (duplicated branches must not
+    /// reuse their original's id — validation requires each id to appear
+    /// exactly once).
+    pub fn alloc_branch(&mut self) -> BranchId {
+        let id = BranchId(self.num_branches);
+        self.num_branches += 1;
+        id
+    }
+
+    /// Appends a new block to `func` and returns its id. Unlike
+    /// [`ProgramBuilder::new_block`], appended blocks never become function
+    /// entries — this is the tail-duplication primitive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `func` is out of range.
+    pub fn add_block(&mut self, func: FuncId, insts: Vec<Inst>, terminator: Terminator) -> BlockId {
+        assert!(
+            (func.0 as usize) < self.func_entries.len(),
+            "add_block: unknown function {func:?}"
+        );
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(Block {
+            id,
+            func,
+            insts,
+            terminator,
+        });
+        id
+    }
+
+    /// Validates the working copy and returns it as a [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ValidateError`] if the edits broke any structural
+    /// invariant.
+    pub fn finish(self) -> Result<Program, ValidateError> {
+        let prog = Program {
+            blocks: self.blocks,
+            func_entries: self.func_entries,
+            entry: self.entry,
+            num_branches: self.num_branches,
+        };
+        prog.validate()?;
+        crate::hooks::check_program(&prog);
+        Ok(prog)
     }
 }
 

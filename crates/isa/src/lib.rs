@@ -48,6 +48,7 @@
 
 pub mod addr;
 pub mod cfg;
+pub mod dom;
 pub mod encode;
 pub mod hooks;
 pub mod layout;
@@ -60,9 +61,10 @@ pub mod trace_io;
 
 pub use addr::{Addr, WORD_BYTES};
 pub use cfg::{
-    Block, BlockId, BranchId, CfgView, EdgeKind, FuncId, Inst, Program, ProgramBuilder, RawProgram,
-    Terminator, ValidateError,
+    Block, BlockId, BranchId, CfgView, EdgeKind, FuncId, Inst, Program, ProgramBuilder,
+    ProgramEdit, RawProgram, Terminator, ValidateError,
 };
+pub use dom::Dominators;
 pub use encode::{decode, disasm, encode, encode_image, DecodeError, Decoded, EncodeError};
 pub use layout::{
     CtrlAttr, LaidInst, Layout, LayoutError, LayoutOptions, LayoutStats, PadMode, RawLayout,

@@ -80,38 +80,99 @@ fn mask(len: u8) -> u32 {
 }
 
 /// The behaviour of every branch in a program, indexed by [`BranchId`].
+///
+/// Compiler passes that duplicate code (superblock tail duplication) mint
+/// fresh branch ids for the copies; [`BehaviorMap::with_origin`] aliases
+/// those ids back onto the original branch so every copy shares its
+/// original's model *and* runtime state — a duplicated loop backedge
+/// continues the same trip count, and the RNG draw sequence is identical to
+/// the untransformed program's.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BehaviorMap {
     models: Vec<BranchModel>,
+    /// `origin[i]` = the base branch whose model/state `BranchId(i)` uses.
+    /// Empty means the identity map over `models`.
+    origin: Vec<BranchId>,
 }
 
 impl BehaviorMap {
     /// Creates a map from dense per-branch models (index = `BranchId.0`).
     #[must_use]
     pub fn new(models: Vec<BranchModel>) -> Self {
-        Self { models }
+        Self {
+            models,
+            origin: Vec::new(),
+        }
     }
 
-    /// Returns the model for `id`.
+    /// Returns the model for `id` (through the origin alias, if any).
     ///
     /// # Panics
     ///
     /// Panics if `id` is out of range.
     #[must_use]
     pub fn model(&self, id: BranchId) -> BranchModel {
-        self.models[id.0 as usize]
+        self.models[self.origin_of(id).0 as usize]
     }
 
-    /// Number of branches covered.
+    /// The base branch `id` aliases (itself when no origin map is set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an origin map is set and `id` is out of its range.
+    #[must_use]
+    pub fn origin_of(&self, id: BranchId) -> BranchId {
+        if self.origin.is_empty() {
+            id
+        } else {
+            self.origin[id.0 as usize]
+        }
+    }
+
+    /// Re-keys this map for a transformed program: `origin[i]` names the
+    /// base branch that transformed branch `BranchId(i)` is a copy of
+    /// (identity for surviving originals). The result answers queries for
+    /// the transformed id space while sharing the base models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any origin entry is outside the base model range.
+    #[must_use]
+    pub fn with_origin(&self, origin: Vec<BranchId>) -> BehaviorMap {
+        for &o in &origin {
+            assert!(
+                (o.0 as usize) < self.models.len(),
+                "origin {o:?} outside the {} base models",
+                self.models.len()
+            );
+        }
+        BehaviorMap {
+            models: self.models.clone(),
+            origin,
+        }
+    }
+
+    /// Number of branches covered (in the aliased id space, if any).
     #[must_use]
     pub fn len(&self) -> usize {
+        if self.origin.is_empty() {
+            self.models.len()
+        } else {
+            self.origin.len()
+        }
+    }
+
+    /// Number of *base* branches — the index space runtime state
+    /// ([`BehaviorState`]) must cover, since aliased branches share slots.
+    #[must_use]
+    pub fn state_len(&self) -> usize {
         self.models.len()
     }
 
     /// Returns `true` if no branches are covered.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.models.is_empty()
+        self.len() == 0
     }
 
     /// Derives the behaviour for a particular program *input*.
@@ -169,7 +230,12 @@ impl BehaviorMap {
                 }
             })
             .collect();
-        BehaviorMap { models }
+        // Perturbation is keyed by *base* model index, so aliased branches
+        // keep tracking their original across inputs.
+        BehaviorMap {
+            models,
+            origin: self.origin.clone(),
+        }
     }
 }
 
@@ -305,6 +371,40 @@ mod tests {
             }
             other => panic!("model kind changed: {other:?}"),
         }
+    }
+
+    #[test]
+    fn origin_aliases_share_model_and_state() {
+        let base = BehaviorMap::new(vec![
+            BranchModel::FixedLoop { trips: 4 },
+            BranchModel::Bernoulli(0.5),
+        ]);
+        // Branch 2 is a duplicate of branch 0; 0 and 1 survive as themselves.
+        let aliased = base.with_origin(vec![BranchId(0), BranchId(1), BranchId(0)]);
+        assert_eq!(aliased.len(), 3);
+        assert_eq!(aliased.state_len(), 2);
+        assert_eq!(aliased.model(BranchId(2)), base.model(BranchId(0)));
+        assert_eq!(aliased.origin_of(BranchId(2)), BranchId(0));
+
+        // Interleaving decisions across the alias continues one trip count:
+        // a 4-trip loop yields taken, taken, taken, not-taken regardless of
+        // which alias asks.
+        let mut st = BehaviorState::new(aliased.state_len());
+        let mut rng = Pcg64::new(9);
+        let seq: Vec<bool> = [BranchId(0), BranchId(2), BranchId(0), BranchId(2)]
+            .iter()
+            .map(|&id| st.decide(aliased.origin_of(id), aliased.model(id), &mut rng))
+            .collect();
+        assert_eq!(seq, vec![true, true, true, false]);
+
+        // for_input preserves the alias and perturbs by base index.
+        let perturbed = aliased.for_input(2, 0.1);
+        assert_eq!(perturbed.len(), 3);
+        assert_eq!(
+            perturbed.model(BranchId(2)),
+            perturbed.model(BranchId(0)),
+            "alias must track its base across inputs"
+        );
     }
 
     #[test]

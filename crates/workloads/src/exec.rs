@@ -75,7 +75,7 @@ impl<'a> Executor<'a> {
         Self {
             program,
             layout,
-            state: BehaviorState::new(behaviors.len()),
+            state: BehaviorState::new(behaviors.state_len()),
             behaviors,
             rng: Pcg64::new(splitmix64(seed ^ 0xe8ec ^ (u64::from(input.0) << 32))),
             pc,
@@ -113,9 +113,14 @@ impl Iterator for Executor<'_> {
             OpClass::CondBranch => {
                 let ctrl = inst.ctrl.expect("branch has ctrl");
                 let id = ctrl.branch_id.expect("cond branch has id");
-                let semantic = self
-                    .state
-                    .decide(id, self.behaviors.model(id), &mut self.rng);
+                // Duplicated branches (superblock tail duplication) alias
+                // their original's state slot and model, so the semantic
+                // decision stream is identical to the untransformed program.
+                let semantic = self.state.decide(
+                    self.behaviors.origin_of(id),
+                    self.behaviors.model(id),
+                    &mut self.rng,
+                );
                 let hw_taken = semantic ^ ctrl.inverted;
                 let target = ctrl.target.expect("branch target resolved");
                 let next_pc = if hw_taken { target } else { addr.add_words(1) };

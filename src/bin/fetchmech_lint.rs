@@ -20,14 +20,32 @@
 //!   --machine NAME      p14 | p18 | p112 (default p14)
 //!   --layout KIND       natural | pad-all | reordered | pad-trace
 //!                       (default natural)
-//!   --analysis NAME     reach | dom | live | reachdef | lvn | geometry
+//!   --analysis NAME     reach | dom | live | reachdef | lvn | ssa | geometry
 //!                       (repeatable; default: all)
 //!   --measured          also measure per-scheme EIR and check it against
 //!                       the static bound (sanitize.static_bound)
 //!   --insts N           profile/measurement budget (default 20000)
 //!   --threads N         worker threads for the per-benchmark fan-out
+//!   --disable RULE      drop findings of one rule id (repeatable)
 //!   --json              emit one JSON object per benchmark (array)
 //!   --list              print the analysis catalog
+//!   --help              print this help
+//!
+//! fetchmech-lint opt [OPTIONS] [BENCHMARK...]
+//!
+//!   BENCHMARK           suite benchmark names (default: the full suite)
+//!   --passes LIST       comma-separated ordered pipeline, from
+//!                       lvn | dce | superblock | straighten (default: all)
+//!   --machine NAME      p14 | p18 | p112 (default p14), for the EIR report
+//!   --verify            translation-validate the pipeline result (static
+//!                       rules + dynamic trace equivalence per pass)
+//!   --insts N           profile/verification budget (default 20000)
+//!   --threads N         worker threads for the per-benchmark fan-out
+//!   --disable RULE      drop findings of one rule id (repeatable)
+//!   --json              emit one JSON object per benchmark (array)
+//!   --list              print the pass and rule catalog
+//!   --self-test         corrupt a pipeline result in-process; findings are
+//!                       EXPECTED (exits 1)
 //!   --help              print this help
 //!
 //! fetchmech-lint sanitize [OPTIONS] [BENCHMARK...]
@@ -59,8 +77,11 @@
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use fetchmech::compiler::{layout_pad_all, reorder, select_traces, Profile, TraceSelectConfig};
-use fetchmech::isa::{BlockId, CfgView, DynInst, Layout, LayoutOptions};
+use fetchmech::compiler::{
+    build_ssa, layout_pad_all, optimize, reorder, select_traces, OptimizeConfig, Optimized,
+    PassEdit, PassKind, Profile, TraceSelectConfig,
+};
+use fetchmech::isa::{BlockId, CfgView, DynInst, Inst, Layout, LayoutOptions};
 use fetchmech::json::{diagnostics_json, Value};
 use fetchmech::pipeline::MachineModel;
 use fetchmech::runner::Runner;
@@ -68,8 +89,8 @@ use fetchmech::workloads::{suite, InputId, Workload};
 use fetchmech::SchemeKind;
 use fetchmech_analysis::sanitize::{self_test, RULES};
 use fetchmech_analysis::{
-    analyze_geometry, dataflow, report_human, Diagnostic, DiagnosticSink, Registry, SanitizeConfig,
-    Severity, Target,
+    analyze_geometry, check_ssa, dataflow, eir_delta, report_human, verify_optimized, Diagnostic,
+    DiagnosticSink, Registry, SanitizeConfig, Severity, Target, OPT_RULES,
 };
 
 const BLOCK_BYTES: u64 = 16;
@@ -240,6 +261,10 @@ const ANALYSES: &[(&str, &str)] = &[
         "local value numbering: redundant pure computations per block",
     ),
     (
+        "ssa",
+        "SSA construction (minimal phi placement) plus the well-formedness lint",
+    ),
+    (
         "geometry",
         "static fetch geometry and per-scheme EIR upper bounds",
     ),
@@ -286,6 +311,7 @@ struct AnalyzeOptions {
     measured: bool,
     insts: u64,
     threads: Option<usize>,
+    disabled: Vec<String>,
     json: bool,
 }
 
@@ -298,7 +324,8 @@ impl AnalyzeOptions {
 fn analyze_usage() -> &'static str {
     "usage: fetchmech-lint analyze [--machine p14|p18|p112] \
      [--layout natural|pad-all|reordered|pad-trace] [--analysis NAME]... \
-     [--measured] [--insts N] [--threads N] [--json] [--list] [BENCHMARK...]"
+     [--measured] [--insts N] [--threads N] [--disable RULE]... [--json] \
+     [--list] [BENCHMARK...]"
 }
 
 fn list_analyses() {
@@ -316,6 +343,7 @@ fn parse_analyze_args(args: &[String]) -> Result<Option<AnalyzeOptions>, String>
         measured: false,
         insts: 20_000,
         threads: None,
+        disabled: Vec::new(),
         json: false,
     };
     let mut it = args.iter();
@@ -351,6 +379,10 @@ fn parse_analyze_args(args: &[String]) -> Result<Option<AnalyzeOptions>, String>
             "--threads" => {
                 let n = it.next().ok_or("--threads needs a count")?;
                 opts.threads = Some(n.parse().map_err(|_| format!("bad --threads value {n}"))?);
+            }
+            "--disable" => {
+                let rule = it.next().ok_or("--disable needs a rule id")?;
+                opts.disabled.push(rule.clone());
             }
             "--help" | "-h" => {
                 println!("{}", analyze_usage());
@@ -506,6 +538,22 @@ fn analyze_benchmark(name: &str, opts: &AnalyzeOptions) -> Result<AnalyzeReport,
         ));
     }
 
+    if opts.wants("ssa") {
+        let view = CfgView::local(program);
+        let dom = dataflow::Dominators::compute(program, &view);
+        let form = build_ssa(program, &view, &dom);
+        let phis: usize = (0..num_blocks).map(|b| form.phis[b].len()).sum();
+        human += &format!("  ssa: {} value(s), {phis} phi(s)\n", form.num_values());
+        fields.push((
+            "ssa",
+            Value::object([
+                ("values", Value::Uint(form.num_values() as u64)),
+                ("phis", Value::Uint(phis as u64)),
+            ]),
+        ));
+        check_ssa(program, &view, &dom, &form, &mut sink);
+    }
+
     if opts.wants("geometry") {
         let report = analyze_geometry(program, &layout, &opts.machine);
         human += &format!(
@@ -589,6 +637,7 @@ fn analyze_benchmark(name: &str, opts: &AnalyzeOptions) -> Result<AnalyzeReport,
 
     let mut diags = sink.into_diagnostics();
     diags.extend(extra);
+    diags.retain(|d| !opts.disabled.iter().any(|r| r == d.rule_id));
     fields.push((
         "diagnostics",
         Value::Array(
@@ -622,9 +671,390 @@ fn analyze_main(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    for rule in &opts.disabled {
+        if !rule_id_known(rule) {
+            eprintln!("fetchmech-lint: unknown rule {rule} (see --list / sanitize --list)");
+            return ExitCode::from(2);
+        }
+    }
     // Benchmarks are independent: fan out, then report in suite order.
     let runner = Runner::from_flag_or_env(opts.threads);
     let results = runner.run(&opts.benchmarks, |name| analyze_benchmark(name, &opts));
+    let mut objects = Vec::new();
+    let mut failed = false;
+    let mut any_error = false;
+    for result in results {
+        match result {
+            Ok(report) => {
+                any_error |= fetchmech_analysis::has_errors(&report.diags);
+                if opts.json {
+                    objects.push(report.json);
+                } else {
+                    print!("{}", report.human);
+                    if !report.diags.is_empty() {
+                        print!("{}", report_human(&report.diags));
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("fetchmech-lint: {e}");
+                failed = true;
+            }
+        }
+    }
+    if opts.json {
+        println!("{}", Value::Array(objects).pretty());
+    }
+    if failed || any_error {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The `opt` subcommand: the SSA-era pass pipeline under translation
+// validation, with the static EIR-delta report.
+// ---------------------------------------------------------------------------
+
+/// Every rule id any subcommand can emit: the registry passes (which
+/// include the opt-verify rules) plus the cycle sanitizer catalog.
+fn rule_id_known(rule: &str) -> bool {
+    let registry = Registry::with_default_passes();
+    registry
+        .passes()
+        .iter()
+        .any(|p| p.rules().contains(&rule))
+        || RULES.iter().any(|(r, _)| *r == rule)
+}
+
+/// The pass catalog for `opt --list`.
+const OPT_PASSES: &[(PassKind, &str)] = &[
+    (
+        PassKind::Lvn,
+        "local value numbering: rewrite redundant pure computations to copies",
+    ),
+    (
+        PassKind::Dce,
+        "dead-code elimination: remove writes no path reads (SSA value liveness)",
+    ),
+    (
+        PassKind::Superblock,
+        "superblock formation: tail-duplicate side entrances out of hot traces",
+    ),
+    (
+        PassKind::Straighten,
+        "branch straightening: invert branches so hot successors fall through",
+    ),
+];
+
+struct OptOptions {
+    benchmarks: Vec<String>,
+    machine: MachineModel,
+    passes: Vec<PassKind>,
+    verify: bool,
+    insts: u64,
+    threads: Option<usize>,
+    disabled: Vec<String>,
+    json: bool,
+}
+
+fn opt_usage() -> &'static str {
+    "usage: fetchmech-lint opt [--passes lvn,dce,superblock,straighten] \
+     [--machine p14|p18|p112] [--verify] [--insts N] [--threads N] \
+     [--disable RULE]... [--json] [--list] [--self-test] [BENCHMARK...]"
+}
+
+fn list_opt() {
+    println!("passes (applied in the order given to --passes):");
+    for (kind, summary) in OPT_PASSES {
+        println!("  {}: {summary}", kind.name());
+    }
+    println!("verification rules (--verify):");
+    for rule in OPT_RULES {
+        println!("  {rule}");
+    }
+    println!(
+        "  {} (residual dead writes after dce, promoted to error)",
+        fetchmech_analysis::dataflow::RULE_DEAD_WRITE
+    );
+}
+
+fn parse_opt_args(args: &[String]) -> Result<Option<OptOptions>, String> {
+    let mut opts = OptOptions {
+        benchmarks: Vec::new(),
+        machine: MachineModel::p14(),
+        passes: PassKind::ALL.to_vec(),
+        verify: false,
+        insts: 20_000,
+        threads: None,
+        disabled: Vec::new(),
+        json: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--verify" => opts.verify = true,
+            "--list" => {
+                list_opt();
+                return Ok(None);
+            }
+            "--passes" => {
+                let list = it.next().ok_or("--passes needs a comma-separated list")?;
+                opts.passes = list
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| {
+                        PassKind::parse(s)
+                            .ok_or_else(|| format!("unknown pass {s} (see opt --list)"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--machine" => {
+                let name = it.next().ok_or("--machine needs a model name")?;
+                opts.machine = MachineModel::by_name(name)
+                    .ok_or_else(|| format!("unknown machine model {name}"))?;
+            }
+            "--insts" => {
+                let n = it.next().ok_or("--insts needs a count")?;
+                opts.insts = n.parse().map_err(|_| format!("bad --insts value {n}"))?;
+            }
+            "--threads" => {
+                let n = it.next().ok_or("--threads needs a count")?;
+                opts.threads = Some(n.parse().map_err(|_| format!("bad --threads value {n}"))?);
+            }
+            "--disable" => {
+                let rule = it.next().ok_or("--disable needs a rule id")?;
+                opts.disabled.push(rule.clone());
+            }
+            "--help" | "-h" => {
+                println!("{}", opt_usage());
+                return Ok(None);
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option {other}"));
+            }
+            name => opts.benchmarks.push(name.to_string()),
+        }
+    }
+    if opts.benchmarks.is_empty() {
+        opts.benchmarks = suite::INT_NAMES
+            .iter()
+            .chain(suite::FP_NAMES.iter())
+            .map(ToString::to_string)
+            .collect();
+    }
+    Ok(Some(opts))
+}
+
+/// One line per application summarizing what the pass did.
+fn pass_summaries(optimized: &Optimized) -> Vec<(String, Value)> {
+    optimized
+        .applications
+        .iter()
+        .map(|app| {
+            let (human, count) = match &app.edit {
+                PassEdit::Lvn { rewrites } => {
+                    (format!("{} rewrite(s)", rewrites.len()), rewrites.len())
+                }
+                PassEdit::Dce { removed, rounds } => (
+                    format!("{} removal(s) in {rounds} round(s)", removed.len()),
+                    removed.len(),
+                ),
+                PassEdit::Superblock { duplicated, formed } => (
+                    format!("{formed} superblock(s), {} duplicate(s)", duplicated.len()),
+                    duplicated.len(),
+                ),
+                PassEdit::Straighten { inverted } => {
+                    (format!("{inverted} inversion(s)"), *inverted)
+                }
+            };
+            (
+                format!("{}: {human}", app.pass),
+                Value::object([
+                    ("pass", Value::Str(app.pass.to_string())),
+                    ("edits", Value::Uint(count as u64)),
+                ]),
+            )
+        })
+        .collect()
+}
+
+fn opt_benchmark(name: &str, opts: &OptOptions) -> Result<AnalyzeReport, String> {
+    let w = suite::benchmark(name).ok_or_else(|| format!("unknown benchmark {name}"))?;
+    let profile = Profile::collect(&w, &InputId::PROFILE, opts.insts);
+    let optimized = optimize(
+        &w.program,
+        &profile,
+        &opts.passes,
+        &OptimizeConfig::default(),
+    );
+    // Re-profile the *optimized* program (branch behaviors aliased back to
+    // their origins) so duplicated paths get their true original/copy flow
+    // split instead of the projected double-count.
+    let w_after = Workload {
+        spec: w.spec.clone(),
+        program: optimized.program.clone(),
+        behaviors: w.behaviors.with_origin(optimized.branch_origin.clone()),
+    };
+    let measured = Profile::collect(&w_after, &InputId::PROFILE, opts.insts);
+    let delta = eir_delta(
+        &w.program,
+        &profile,
+        &optimized,
+        Some(&measured),
+        &opts.machine,
+    )
+    .map_err(|e| format!("{name}: pipeline layout failed: {e}"))?;
+
+    let mut human = format!(
+        "{name} [{}]: {} -> {} block(s)\n",
+        opts.machine.name,
+        w.program.num_blocks(),
+        optimized.program.num_blocks()
+    );
+    let mut fields: Vec<(&str, Value)> = vec![
+        ("benchmark", Value::Str(name.to_string())),
+        ("machine", Value::Str(opts.machine.name.to_string())),
+        (
+            "passes",
+            Value::Array(
+                opts.passes
+                    .iter()
+                    .map(|p| Value::Str(p.name().to_string()))
+                    .collect(),
+            ),
+        ),
+        ("blocks_before", Value::Uint(w.program.num_blocks() as u64)),
+        (
+            "blocks_after",
+            Value::Uint(optimized.program.num_blocks() as u64),
+        ),
+    ];
+    let mut summaries = Vec::new();
+    for (line, json) in pass_summaries(&optimized) {
+        human += &format!("  {line}\n");
+        summaries.push(json);
+    }
+    fields.push(("applications", Value::Array(summaries)));
+
+    let mut schemes = Vec::new();
+    for ((before, after), weighted) in delta
+        .before
+        .schemes
+        .iter()
+        .zip(&delta.after.schemes)
+        .zip(&delta.weighted)
+    {
+        human += &format!(
+            "    {:<12} predicted {:.2} -> {:.2} ({:+.2})  bound {:.2} -> {:.2}  \
+             taken-breaks {} -> {}\n",
+            before.scheme.name(),
+            weighted.before,
+            weighted.after,
+            weighted.after - weighted.before,
+            before.eir_bound,
+            after.eir_bound,
+            before.taken_breaks,
+            after.taken_breaks,
+        );
+        schemes.push(Value::object([
+            ("scheme", Value::Str(before.scheme.name().to_string())),
+            ("predicted_before", Value::Num(weighted.before)),
+            ("predicted_after", Value::Num(weighted.after)),
+            (
+                "predicted_delta",
+                Value::Num(weighted.after - weighted.before),
+            ),
+            ("bound_before", Value::Num(before.eir_bound)),
+            ("bound_after", Value::Num(after.eir_bound)),
+            ("entry_packet_before", Value::Num(before.mean_entry_packet)),
+            ("entry_packet_after", Value::Num(after.mean_entry_packet)),
+            ("taken_breaks_before", Value::Uint(before.taken_breaks)),
+            ("taken_breaks_after", Value::Uint(after.taken_breaks)),
+        ]));
+    }
+    fields.push(("eir_bounds", Value::Array(schemes)));
+
+    let mut diags = Vec::new();
+    if opts.verify {
+        diags = verify_optimized(&w, &profile, &optimized, opts.insts);
+        diags.retain(|d| !opts.disabled.iter().any(|r| r == d.rule_id));
+    }
+    fields.push((
+        "diagnostics",
+        Value::Array(
+            diags
+                .iter()
+                .map(|d| {
+                    Value::object([
+                        ("rule_id", Value::Str(d.rule_id.to_string())),
+                        ("severity", Value::Str(d.severity.to_string())),
+                        ("location", Value::Str(d.location.to_string())),
+                        ("message", Value::Str(d.message.clone())),
+                    ])
+                })
+                .collect(),
+        ),
+    ));
+    Ok(AnalyzeReport {
+        human,
+        json: Value::object(fields),
+        diags,
+    })
+}
+
+/// Corrupts a real pipeline result in-process and verifies the validator
+/// still rejects it: findings are EXPECTED and exit status 1 proves the
+/// gate is live (mirrors `sanitize --self-test`).
+fn opt_self_test() -> ExitCode {
+    let w = suite::benchmark("compress").expect("compress is a suite benchmark");
+    let profile = Profile::collect(&w, &InputId::PROFILE, 20_000);
+    let mut optimized = optimize(
+        &w.program,
+        &profile,
+        &PassKind::ALL,
+        &OptimizeConfig::default(),
+    );
+    let app = optimized
+        .applications
+        .first_mut()
+        .expect("the full pipeline records applications");
+    // Smuggle an undeclared body edit into the first application's output.
+    let mut edit = app.after.edit();
+    edit.insts_mut(BlockId(0)).push(Inst::nop());
+    app.after = edit.finish().expect("a nop keeps the program valid");
+    let diags = verify_optimized(&w, &profile, &optimized, 4_000);
+    print!("{}", report_human(&diags));
+    if fetchmech_analysis::has_errors(&diags) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn opt_main(args: &[String]) -> ExitCode {
+    if args.iter().any(|a| a == "--self-test") {
+        return opt_self_test();
+    }
+    let opts = match parse_opt_args(args) {
+        Ok(Some(opts)) => opts,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fetchmech-lint: {e}");
+            eprintln!("{}", opt_usage());
+            return ExitCode::from(2);
+        }
+    };
+    for rule in &opts.disabled {
+        if !rule_id_known(rule) {
+            eprintln!("fetchmech-lint: unknown rule {rule} (see opt --list)");
+            return ExitCode::from(2);
+        }
+    }
+    let runner = Runner::from_flag_or_env(opts.threads);
+    let results = runner.run(&opts.benchmarks, |name| opt_benchmark(name, &opts));
     let mut objects = Vec::new();
     let mut failed = false;
     let mut any_error = false;
@@ -859,6 +1289,9 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("analyze") {
         return analyze_main(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("opt") {
+        return opt_main(&args[1..]);
     }
     let opts = match parse_args(&args) {
         Ok(Some(opts)) => opts,

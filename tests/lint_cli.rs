@@ -9,6 +9,7 @@
 use std::process::{Command, Output};
 
 use fetchmech_analysis::sanitize::RULES;
+use fetchmech_analysis::OPT_RULES;
 
 fn lint(args: &[&str]) -> Output {
     Command::new(env!("CARGO_BIN_EXE_fetchmech-lint"))
@@ -70,6 +71,63 @@ fn usage_errors_exit_two() {
     // Unknown pass name.
     let out = lint(&["--pass", "no-such-pass", "compress"]);
     assert_eq!(exit_code(&out), 2);
+}
+
+#[test]
+fn opt_self_test_exits_nonzero_with_expected_rules() {
+    let out = lint(&["opt", "--self-test"]);
+    assert_eq!(exit_code(&out), 1, "injected corruption must fail the run");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for rule in ["opt.shape", "opt.body-preserved"] {
+        assert!(stdout.contains(rule), "missing {rule} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn opt_verified_clean_benchmark_exits_zero() {
+    let out = lint(&["opt", "--verify", "--insts", "4000", "compress"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(exit_code(&out), 0, "stdout:\n{stdout}\nstderr:\n{stderr}");
+}
+
+#[test]
+fn opt_list_prints_the_full_rule_catalog() {
+    let out = lint(&["opt", "--list"]);
+    assert_eq!(exit_code(&out), 0);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for rule in OPT_RULES {
+        assert!(stdout.contains(rule), "missing {rule} in:\n{stdout}");
+    }
+    for pass in ["lvn", "dce", "superblock", "straighten"] {
+        assert!(stdout.contains(pass), "missing {pass} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn opt_usage_errors_exit_two() {
+    // Unknown pass name in the pipeline list.
+    let out = lint(&["opt", "--passes", "lvn,no-such-pass", "compress"]);
+    assert_eq!(exit_code(&out), 2);
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no-such-pass"));
+    // Unknown rule id in --disable (parity with sanitize/analyze).
+    let out = lint(&["opt", "--disable", "no.such.rule", "compress"]);
+    assert_eq!(exit_code(&out), 2);
+}
+
+#[test]
+fn analyze_disable_rejects_unknown_rule() {
+    let out = lint(&["analyze", "--disable", "no.such.rule", "compress"]);
+    assert_eq!(exit_code(&out), 2);
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no.such.rule"));
+}
+
+#[test]
+fn analyze_list_includes_the_ssa_analysis() {
+    let out = lint(&["analyze", "--list"]);
+    assert_eq!(exit_code(&out), 0);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("ssa"), "missing ssa in:\n{stdout}");
 }
 
 #[test]
