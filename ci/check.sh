@@ -44,6 +44,18 @@ if cargo run -q -p fetchmech-repro --bin fetchmech-lint -- opt --self-test >/dev
     exit 1
 fi
 
+echo "==> fetchmech-lint frontend (parse -> lower -> lint -> opt --verify -> simulate, all examples)"
+cargo run -q -p fetchmech-repro --bin fetchmech-lint -- frontend --verify --insts 4000 \
+    examples/programs/*
+# The frontend must also still REJECT a bad program with exit 1.
+bad_prog="$(mktemp -d)/bad.bril.json"
+printf '{"functions": []}' >"$bad_prog"
+if cargo run -q -p fetchmech-repro --bin fetchmech-lint -- frontend "$bad_prog" >/dev/null 2>&1; then
+    echo "frontend failed to flag an invalid program" >&2
+    exit 1
+fi
+rm -f "$bad_prog"
+
 echo "==> cargo doc --workspace --no-deps (warnings fatal)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
@@ -86,7 +98,7 @@ if [ -z "$serve_addr" ]; then
     cat "$serve_log" >&2
     exit 1
 fi
-target/release/examples/serve_client "$serve_addr"
+target/release/examples/serve_client "$serve_addr" examples/programs/loopmix.bril.json
 kill -TERM "$serve_pid"
 wait "$serve_pid"
 trap - EXIT

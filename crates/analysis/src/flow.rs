@@ -159,8 +159,23 @@ pub fn check_profile(program: &Program, profile: &Profile, sink: &mut Diagnostic
     // return block (the eventual return); halts flow into the program entry
     // (the executor's restart semantics).
     let n = program.num_blocks();
+    // Blocks that emit no instructions on the natural profiling layout
+    // (empty body, elided fall-through/jump) are invisible to the counter:
+    // their measured count always reads zero.
+    let elided = |b: &fetchmech_isa::Block| -> bool {
+        b.insts.is_empty()
+            && match b.terminator {
+                Terminator::FallThrough { next } | Terminator::Jump { target: next } => {
+                    next.0 == b.id.0 + 1
+                }
+                _ => false,
+            }
+    };
     let mut inflow = vec![0u64; n];
     for b in program.blocks() {
+        if elided(b) {
+            continue; // Relayed below from computed inflow, not the counter.
+        }
         let count = profile.block_count(b.id);
         let mut add = |to: BlockId, w: u64| {
             if (to.0 as usize) < n {
@@ -185,19 +200,16 @@ pub fn check_profile(program: &Program, profile: &Profile, sink: &mut Diagnostic
             Terminator::Halt => add(program.entry(), count),
         }
     }
+    // An elided block passes whatever flows into it straight through. It
+    // only ever feeds block id+1, so one ascending sweep resolves chains.
     for b in program.blocks() {
-        // Blocks that emit no instructions on the natural profiling layout
-        // (empty body, elided fall-through/jump) are invisible to the
-        // counter, so their measured count legitimately reads zero.
-        let elided = b.insts.is_empty()
-            && match b.terminator {
-                Terminator::FallThrough { next } | Terminator::Jump { target: next } => {
-                    next.0 == b.id.0 + 1
-                }
-                _ => false,
-            };
-        if elided {
-            continue;
+        if elided(b) {
+            inflow[b.id.0 as usize + 1] += inflow[b.id.0 as usize];
+        }
+    }
+    for b in program.blocks() {
+        if elided(b) {
+            continue; // The zero measured count is legitimate.
         }
         let count = profile.block_count(b.id);
         let expected = inflow[b.id.0 as usize];

@@ -425,7 +425,7 @@ pub fn analyze_geometry(
 /// ```
 ///
 /// — total instructions over total fetch cycles, where every run charges
-/// its packet count *plus one redirect cycle* ([`REDIRECT_CYCLES`]): the
+/// its packet count *plus one redirect cycle* (`REDIRECT_CYCLES`): the
 /// expected delivery gap while fetch steers to the run's start (BTB lookup,
 /// amortized misprediction and miss costs). Unlike a mean of entry packets,
 /// this credits transforms that make runs *longer and rarer* (branch

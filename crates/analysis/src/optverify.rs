@@ -1201,7 +1201,7 @@ fn expected_runs(
 
 /// Computes the static EIR delta of a pipeline result under `machine`,
 /// weighting block entry packets by how often `profile` says fetch
-/// *restarts* there (see [`restart_weights`]).
+/// *restarts* there (see `restart_weights`).
 ///
 /// `measured_after`, when given, is a profile collected on the *optimized*
 /// program (e.g. by re-running the workload with origin-aliased behaviors)

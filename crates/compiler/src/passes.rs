@@ -10,9 +10,9 @@
 //! (`BehaviorMap::with_origin`) and profiles can be remapped between passes.
 //!
 //! Passes:
-//! - [`PassKind::Lvn`] — local value numbering ([`crate::lvn`]).
-//! - [`PassKind::Dce`] — dead-code elimination ([`crate::dce`]).
-//! - [`PassKind::Superblock`] — tail duplication ([`crate::superblock`]).
+//! - [`PassKind::Lvn`] — local value numbering ([`mod@crate::lvn`]).
+//! - [`PassKind::Dce`] — dead-code elimination ([`mod@crate::dce`]).
+//! - [`PassKind::Superblock`] — tail duplication ([`mod@crate::superblock`]).
 //! - [`PassKind::Straighten`] — branch-sense inversion so hot successors
 //!   fall through in the current layout order.
 

@@ -27,9 +27,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use fetchmech_compiler::{layout_pad_all, reorder, Profile, Reordered, TraceSelectConfig};
-use fetchmech_isa::{BlockStream, DynInst, Layout, LayoutOptions};
+use fetchmech_isa::{BlockStream, DynInst, Layout, LayoutOptions, Program};
 use fetchmech_pipeline::MachineModel;
-use fetchmech_workloads::{suite, InputId, Workload, WorkloadClass};
+use fetchmech_workloads::{suite, BehaviorMap, InputId, Workload, WorkloadClass, WorkloadSpec};
 
 use crate::runner::Runner;
 use crate::scheme::SchemeKind;
@@ -294,6 +294,13 @@ impl LabCacheStats {
     }
 }
 
+/// Ceiling on concurrently registered external (frontend-uploaded)
+/// programs per [`Lab`]. Registered names are interned for the process
+/// lifetime (they key the `'static`-named caches below), so the registry
+/// must be bounded; at the content-hash granularity the serve layer uses,
+/// re-uploads of the same program do not consume new slots.
+pub const MAX_EXTERNAL_PROGRAMS: usize = 128;
+
 /// The experiment laboratory: benchmark suite plus concurrently cached
 /// profiles, reordered programs, layouts, and materialized traces, shared
 /// across all drivers and worker threads.
@@ -302,6 +309,10 @@ pub struct Lab {
     cfg: ExpConfig,
     runner: Runner,
     benchmarks: Vec<Arc<Workload>>,
+    /// Externally supplied (frontend-lowered) programs, in registration
+    /// order. Names are interned to `'static` so externals flow through the
+    /// same caches as suite benchmarks.
+    external: Mutex<Vec<(&'static str, Arc<Workload>)>>,
     profiles: Memo<&'static str, Arc<Profile>>,
     reordered: Memo<&'static str, Arc<Reordered>>,
     reordered_workloads: Memo<&'static str, Arc<Workload>>,
@@ -341,6 +352,7 @@ impl Lab {
             cfg,
             runner,
             benchmarks: suite::full_suite().into_iter().map(Arc::new).collect(),
+            external: Mutex::new(Vec::new()),
             profiles: Memo::new(),
             reordered: Memo::new(),
             reordered_workloads: Memo::new(),
@@ -391,11 +403,118 @@ impl Lab {
             .unwrap_or_else(|| panic!("unknown benchmark {name}"))
     }
 
+    /// Registers an externally supplied (frontend-lowered) program under
+    /// `name`, returning the interned `'static` name to use with every other
+    /// lab method. Registration is idempotent: re-registering `name` with an
+    /// identical program and behaviours returns the existing interned name
+    /// without consuming a slot.
+    ///
+    /// # Errors
+    ///
+    /// Rejects names that collide with suite benchmarks, re-registrations
+    /// whose program or behaviours differ from the existing entry, and
+    /// registrations beyond [`MAX_EXTERNAL_PROGRAMS`].
+    pub fn register_external(
+        &self,
+        name: &str,
+        program: Program,
+        behaviors: BehaviorMap,
+    ) -> Result<&'static str, String> {
+        if self.benchmarks.iter().any(|w| w.spec.name == name) {
+            return Err(format!("{name:?} is a suite benchmark name"));
+        }
+        let mut external = self.external.lock().expect("external registry poisoned");
+        if let Some((interned, existing)) = external.iter().find(|(n, _)| *n == name) {
+            return if existing.program == program && existing.behaviors == behaviors {
+                Ok(interned)
+            } else {
+                Err(format!(
+                    "{name:?} is already registered with different contents"
+                ))
+            };
+        }
+        if external.len() >= MAX_EXTERNAL_PROGRAMS {
+            return Err(format!(
+                "external-program registry is full ({MAX_EXTERNAL_PROGRAMS} programs)"
+            ));
+        }
+        let interned: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        // The seed derives from the name (FNV-1a), so trace generation for a
+        // given registered program is reproducible across processes.
+        let seed = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+        });
+        external.push((
+            interned,
+            Arc::new(Workload {
+                spec: WorkloadSpec::external(interned, seed),
+                program,
+                behaviors,
+            }),
+        ));
+        Ok(interned)
+    }
+
+    /// Resolves `name` to its interned `'static` form if it names a suite
+    /// benchmark or a registered external program.
+    #[must_use]
+    pub fn intern_name(&self, name: &str) -> Option<&'static str> {
+        if let Some(w) = self.benchmarks.iter().find(|w| w.spec.name == name) {
+            return Some(w.spec.name);
+        }
+        self.external
+            .lock()
+            .expect("external registry poisoned")
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(n, _)| *n)
+    }
+
+    /// The workload registered under `name` — suite benchmark or external
+    /// program — if any.
+    #[must_use]
+    pub fn find_workload(&self, name: &str) -> Option<Arc<Workload>> {
+        if let Some(w) = self.benchmarks.iter().find(|w| w.spec.name == name) {
+            return Some(Arc::clone(w));
+        }
+        self.external
+            .lock()
+            .expect("external registry poisoned")
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, w)| Arc::clone(w))
+    }
+
+    /// Names of all registered external programs, sorted.
+    #[must_use]
+    pub fn external_names(&self) -> Vec<&'static str> {
+        let mut names: Vec<&'static str> = self
+            .external
+            .lock()
+            .expect("external registry poisoned")
+            .iter()
+            .map(|(n, _)| *n)
+            .collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Internal lookup shared by the cache fill paths: suite benchmarks and
+    /// registered externals resolve identically.
+    fn workload_arc(&self, name: &str) -> Arc<Workload> {
+        self.find_workload(name)
+            .unwrap_or_else(|| panic!("unknown benchmark {name}"))
+    }
+
     /// The profile for `name`, collected once on the five training inputs.
     pub fn profile(&self, name: &'static str) -> Arc<Profile> {
         self.profiles.get_or_compute(name, || {
-            let w = self.bench(name);
-            Arc::new(Profile::collect(w, &InputId::PROFILE, self.cfg.profile_len))
+            let w = self.workload_arc(name);
+            Arc::new(Profile::collect(
+                &w,
+                &InputId::PROFILE,
+                self.cfg.profile_len,
+            ))
         })
     }
 
@@ -403,7 +522,7 @@ impl Lab {
     pub fn reordered(&self, name: &'static str) -> Arc<Reordered> {
         self.reordered.get_or_compute(name, || {
             let profile = self.profile(name);
-            let w = self.bench(name);
+            let w = self.workload_arc(name);
             Arc::new(reorder(&w.program, &profile, &TraceSelectConfig::default()))
         })
     }
@@ -413,7 +532,7 @@ impl Lab {
     pub fn reordered_workload(&self, name: &'static str) -> Arc<Workload> {
         self.reordered_workloads.get_or_compute(name, || {
             let r = self.reordered(name).program.clone();
-            let w = self.bench(name);
+            let w = self.workload_arc(name);
             Arc::new(Workload {
                 spec: w.spec.clone(),
                 program: r,
@@ -428,12 +547,7 @@ impl Lab {
         if variant.uses_reordered_program() {
             self.reordered_workload(name)
         } else {
-            Arc::clone(
-                self.benchmarks
-                    .iter()
-                    .find(|w| w.spec.name == name)
-                    .unwrap_or_else(|| panic!("unknown benchmark {name}")),
-            )
+            self.workload_arc(name)
         }
     }
 
@@ -453,10 +567,13 @@ impl Lab {
         self.layouts
             .get_or_compute((name, variant, block_bytes), || {
                 let layout = match variant {
-                    LayoutVariant::Natural => {
-                        Layout::natural(&self.bench(name).program, LayoutOptions::new(block_bytes))
+                    LayoutVariant::Natural => Layout::natural(
+                        &self.workload_arc(name).program,
+                        LayoutOptions::new(block_bytes),
+                    ),
+                    LayoutVariant::PadAll => {
+                        layout_pad_all(&self.workload_arc(name).program, block_bytes)
                     }
-                    LayoutVariant::PadAll => layout_pad_all(&self.bench(name).program, block_bytes),
                     LayoutVariant::Reordered => self.reordered(name).layout(block_bytes),
                     LayoutVariant::PadTrace => self.reordered(name).layout_pad_trace(block_bytes),
                 };
@@ -646,6 +763,48 @@ mod tests {
         assert_eq!(int, 9);
         assert_eq!(fp, 6);
         assert_eq!(lab.class_names(WorkloadClass::Int).len(), 9);
+    }
+
+    #[test]
+    fn external_programs_flow_through_the_caches() {
+        let lab = Lab::with_threads(ExpConfig::quick(), 1);
+        let donor = lab.bench("compress");
+        let (program, behaviors) = (donor.program.clone(), donor.behaviors.clone());
+
+        // Suite names are off limits.
+        assert!(lab
+            .register_external("compress", program.clone(), behaviors.clone())
+            .is_err());
+
+        let id = lab
+            .register_external("prog-test", program.clone(), behaviors.clone())
+            .expect("registers");
+        // Idempotent for identical contents, rejected for different ones.
+        let again = lab
+            .register_external("prog-test", program.clone(), behaviors.clone())
+            .expect("re-register");
+        assert_eq!(id, again);
+        let other = lab.bench("eqntott");
+        assert!(lab
+            .register_external("prog-test", other.program.clone(), other.behaviors.clone())
+            .is_err());
+
+        assert_eq!(lab.intern_name("prog-test"), Some(id));
+        assert_eq!(lab.external_names(), vec![id]);
+        assert!(lab.find_workload("prog-test").is_some());
+        assert!(lab.intern_name("prog-unknown").is_none());
+
+        // The external flows through trace generation and simulation like a
+        // suite benchmark.
+        let t = lab.test_trace(id, LayoutVariant::Natural, 16);
+        assert_eq!(t.len(), ExpConfig::quick().trace_len as usize);
+        let r = lab.run(
+            &MachineModel::p14(),
+            SchemeKind::Sequential,
+            id,
+            LayoutVariant::Natural,
+        );
+        assert_eq!(r.retired, ExpConfig::quick().trace_len);
     }
 
     #[test]

@@ -407,6 +407,12 @@ impl Parser<'_> {
                 return Err(self.err("expected string key in object"));
             }
             let key = self.string()?;
+            // RFC 8259 leaves duplicate-key behaviour undefined; for a
+            // parser fed untrusted uploads, silently keeping one of the two
+            // values is a smuggling vector, so reject outright.
+            if fields.iter().any(|(k, _)| *k == key) {
+                return Err(self.err(format!("duplicate key {key:?} in object")));
+            }
             self.skip_ws();
             if self.peek() != Some(b':') {
                 return Err(self.err("expected ':' after object key"));
@@ -531,9 +537,14 @@ impl Parser<'_> {
                 return Ok(Value::Int(n));
             }
         }
-        text.parse::<f64>()
-            .map(Value::Num)
-            .map_err(|_| self.err(format!("invalid number {text:?}")))
+        match text.parse::<f64>() {
+            // `1e999` parses to infinity, which `render` would emit as
+            // `null`; reject here so hostile input cannot round-trip a
+            // number into a different type.
+            Ok(x) if x.is_finite() => Ok(Value::Num(x)),
+            Ok(_) => Err(self.err(format!("number {text:?} overflows"))),
+            Err(_) => Err(self.err(format!("invalid number {text:?}"))),
+        }
     }
 }
 
@@ -624,6 +635,30 @@ mod tests {
             parse(&("[".repeat(40) + &"]".repeat(40))).is_err(),
             "depth limit"
         );
+    }
+
+    #[test]
+    fn parse_rejects_hostile_input() {
+        // Duplicate keys are a smuggling vector, not a tie to break.
+        let e = parse(r#"{"a": 1, "a": 2}"#).expect_err("dup key");
+        assert!(e.to_string().contains("duplicate key \"a\""), "{e}");
+        assert!(parse(r#"{"a": {"x": 1, "x": 1}}"#).is_err(), "nested dup");
+        // Same key at different depths is fine.
+        assert!(parse(r#"{"a": {"a": 1}, "b": {"a": 2}}"#).is_ok());
+
+        // Numbers that overflow to non-finite floats would silently become
+        // `null` on re-render; reject them at the door.
+        for bad in ["1e999", "-1e999", "1e99999999"] {
+            let e = parse(bad).expect_err(bad);
+            assert!(e.to_string().contains("overflows"), "{bad}: {e}");
+        }
+        // Large but representable magnitudes still parse.
+        assert_eq!(parse("1e308"), Ok(Value::Num(1e308)));
+
+        // Bad escapes never panic, they report a position.
+        for bad in [r#""\q""#, r#""\u12""#, r#""\u{7}""#, r#""\ud800\ud800""#] {
+            assert!(parse(bad).is_err(), "{bad}");
+        }
     }
 
     #[test]

@@ -269,6 +269,77 @@ impl Program {
         self.func_entries.len()
     }
 
+    /// A stable FNV-1a content hash over the whole CFG: entry, function
+    /// entries, every instruction, and every terminator. Equal programs hash
+    /// equal across processes and restarts (no pointer or `HashMap` order
+    /// dependence), which is what lets callers derive persistent
+    /// content-addressed identifiers from it.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(PRIME);
+        };
+        let reg = |r: Option<Reg>| -> u64 {
+            match r {
+                None => 0,
+                Some(Reg::Int(n)) => 1 + u64::from(n),
+                Some(Reg::Fp(n)) => 64 + u64::from(n),
+            }
+        };
+        mix(u64::from(self.entry.0));
+        mix(self.func_entries.len() as u64);
+        for f in &self.func_entries {
+            mix(u64::from(f.0));
+        }
+        for b in &self.blocks {
+            mix(u64::from(b.func.0));
+            mix(b.insts.len() as u64);
+            for inst in &b.insts {
+                mix(inst.op as u64);
+                mix(reg(inst.dest));
+                mix(reg(inst.srcs[0]));
+                mix(reg(inst.srcs[1]));
+                mix(inst.imm as u8 as u64);
+            }
+            match b.terminator {
+                Terminator::FallThrough { next } => {
+                    mix(1);
+                    mix(u64::from(next.0));
+                }
+                Terminator::CondBranch {
+                    id,
+                    srcs,
+                    taken,
+                    fall,
+                    inverted,
+                } => {
+                    mix(2);
+                    mix(u64::from(id.0));
+                    mix(reg(srcs[0]));
+                    mix(reg(srcs[1]));
+                    mix(u64::from(taken.0));
+                    mix(u64::from(fall.0));
+                    mix(u64::from(inverted));
+                }
+                Terminator::Jump { target } => {
+                    mix(3);
+                    mix(u64::from(target.0));
+                }
+                Terminator::Call { callee, return_to } => {
+                    mix(4);
+                    mix(u64::from(callee.0));
+                    mix(u64::from(return_to.0));
+                }
+                Terminator::Return => mix(5),
+                Terminator::Halt => mix(6),
+            }
+        }
+        h
+    }
+
     /// Total body + terminator-branch instruction count when every jump is
     /// materialized (an upper bound on laid-out size, before nop padding and
     /// before fall-through elision).

@@ -112,6 +112,40 @@ impl WorkloadSpec {
         }
     }
 
+    /// The spec shell wrapping an *externally supplied* program (frontend
+    /// uploads). The structural knobs are degenerate placeholders — the
+    /// program and behaviours come from the frontend, not the generator —
+    /// but `name`, `seed`, `class`, and `input_magnitude` are live: they
+    /// drive trace seeding and per-input behaviour perturbation exactly as
+    /// for generated workloads. Never pass this spec to
+    /// [`Workload::generate`].
+    #[must_use]
+    pub fn external(name: &'static str, seed: u64) -> Self {
+        Self {
+            name,
+            class: WorkloadClass::Int,
+            seed,
+            funcs: 1,
+            segments_per_func: (1, 1),
+            block_len: (1, 1),
+            fp_ratio: 0.0,
+            mem_ratio: 0.0,
+            hammock_prob: 0.0,
+            hammock_len: (1, 1),
+            diamond_prob: 0.0,
+            loop_prob: 0.0,
+            loop_body_blocks: (1, 1),
+            mean_trips: 1.0,
+            min_loop_insts: 0,
+            taken_prob: (0.5, 0.5),
+            pattern_prob: 0.0,
+            fixed_loop_prob: 0.0,
+            call_prob: 0.0,
+            dep_locality: 1,
+            input_magnitude: 0.08,
+        }
+    }
+
     /// A generic floating-point shape; named benchmarks tweak from here.
     #[must_use]
     pub fn base_fp(name: &'static str, seed: u64) -> Self {

@@ -1,0 +1,37 @@
+;; Branch-dense stressor: three conditional branches per trip around the
+;; spin loop — a patterned guard, a rare exit test, and the loop back
+;; edge — so fetch-scheme differences on taken-branch breaks show up.
+(module
+  (func $main (local $x i32) (local $y i32)
+    i32.const 5
+    local.set $x
+    block $out
+      loop $spin
+        local.get $x
+        i32.const 3
+        i32.and
+        local.set $y
+        block $skip
+          local.get $y
+          i32.eqz
+          br_if $skip ;; @pattern=1100:0.1
+          local.get $x
+          local.get $y
+          i32.add
+          local.set $x
+        end
+        local.get $x
+        i32.const 60
+        i32.gt_s
+        br_if $out ;; @p=0.04
+        local.get $x
+        i32.const 1
+        i32.add
+        local.set $x
+        i32.const 1
+        br_if $spin ;; @loop=30
+      end
+    end
+    return
+  )
+)

@@ -1,0 +1,36 @@
+;; Loop-heavy reduction kernel: one hot counted loop plus a guarded
+;; fix-up path. The @loop annotation calibrates the back edge to a mean
+;; of 24 trips; the guard is strongly biased toward the early exit.
+(module
+  (func $main (local $i i32) (local $acc i32) (local $lim i32)
+    i32.const 32
+    local.set $lim
+    i32.const 0
+    local.set $i
+    block $exit
+      loop $head
+        local.get $i
+        i32.load
+        local.get $acc
+        i32.add
+        local.set $acc
+        local.get $i
+        i32.const 1
+        i32.add
+        local.tee $i
+        local.get $lim
+        i32.lt_s
+        br_if $head ;; @loop=24
+      end
+      local.get $acc
+      i32.const 0
+      i32.gt_s
+      br_if $exit ;; @p=0.9
+      local.get $acc
+      i32.const 1
+      i32.add
+      local.set $acc
+    end
+    return
+  )
+)

@@ -4,8 +4,14 @@
 //! lab caches, then writes a throughput/latency summary to
 //! `BENCH_PR5.json`.
 //!
+//! With a second argument naming a frontend program file (`.bril.json` /
+//! `.json` / `.wat`), the client also uploads it via `POST /v1/programs`
+//! and sweeps the returned content-hash id across every scheme, twice,
+//! asserting byte-identical results.
+//!
 //! ```text
-//! cargo run --release --example serve_client -- 127.0.0.1:8321
+//! cargo run --release --example serve_client -- 127.0.0.1:8321 \
+//!     examples/programs/loopmix.bril.json
 //! ```
 
 use std::io::{Read, Write};
@@ -178,6 +184,40 @@ fn main() {
     let (status, second) = check(&addr, "POST", "/v1/sweep", sweep);
     assert_eq!(status, 200);
     assert_eq!(first, second, "repeated sweep diverged");
+
+    // Optional: upload a frontend program and sweep it end-to-end.
+    if let Some(path) = std::env::args().nth(2) {
+        let format = if path.to_ascii_lowercase().ends_with(".wat") {
+            "wat"
+        } else {
+            "bril"
+        };
+        let source = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("serve_client: read {path}: {e}");
+            std::process::exit(1);
+        });
+        let upload = Value::object([
+            ("format", Value::Str(format.to_string())),
+            ("source", Value::Str(source)),
+        ])
+        .pretty();
+        let (status, body) = check(&addr, "POST", "/v1/programs", &upload);
+        assert_eq!(status, 200, "program upload failed: {body}");
+        let doc = parse(&body).expect("upload response is JSON");
+        let id = doc
+            .get("id")
+            .and_then(Value::as_str)
+            .expect("upload response has an id")
+            .to_string();
+        assert!(id.starts_with("prog-"), "content-hash id: {id}");
+        let prog_sweep = format!("{{\"benches\": [\"{id}\"], \"insts\": 2000}}");
+        let (status, first) = check(&addr, "POST", "/v1/sweep", &prog_sweep);
+        assert_eq!(status, 200, "program sweep failed: {first}");
+        let (status, second) = check(&addr, "POST", "/v1/sweep", &prog_sweep);
+        assert_eq!(status, 200);
+        assert_eq!(first, second, "repeated program sweep diverged");
+        eprintln!("serve_client: uploaded {path} as {id}, swept all schemes twice");
+    }
 
     let (status, body) = check(&addr, "GET", "/metrics", "");
     assert_eq!(status, 200);

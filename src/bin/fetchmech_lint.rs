@@ -48,6 +48,22 @@
 //!                       EXPECTED (exits 1)
 //!   --help              print this help
 //!
+//! fetchmech-lint frontend [OPTIONS] FILE...
+//!
+//!   FILE                external programs: .bril.json / .json (Bril-style
+//!                       JSON CFG) or .wat (flat WebAssembly text)
+//!   --machine NAME      p14 | p18 | p112 (default p14)
+//!   --insts N           profile/verification budget (default 20000)
+//!   --threads N         worker threads for the per-file fan-out
+//!   --disable RULE      drop findings of one rule id (repeatable)
+//!   --json              emit one JSON object per file (array)
+//!   --dump              print each lowered program as assembler-style text
+//!   --verify            additionally run the full opt pipeline under
+//!                       translation validation and simulate every fetch
+//!                       scheme over the lowered program
+//!   --list              print the accepted formats and annotations
+//!   --help              print this help
+//!
 //! fetchmech-lint sanitize [OPTIONS] [BENCHMARK...]
 //!
 //!   BENCHMARK           suite benchmark names (default: the full suite)
@@ -85,15 +101,92 @@ use fetchmech::isa::{BlockId, CfgView, DynInst, Inst, Layout, LayoutOptions};
 use fetchmech::json::{diagnostics_json, Value};
 use fetchmech::pipeline::MachineModel;
 use fetchmech::runner::Runner;
-use fetchmech::workloads::{suite, InputId, Workload};
-use fetchmech::SchemeKind;
+use fetchmech::workloads::{suite, InputId, Workload, WorkloadSpec};
+use fetchmech::{simulate, SchemeKind};
 use fetchmech_analysis::sanitize::{self_test, RULES};
 use fetchmech_analysis::{
     analyze_geometry, check_ssa, dataflow, eir_delta, report_human, verify_optimized, Diagnostic,
     DiagnosticSink, Registry, SanitizeConfig, Severity, Target, OPT_RULES,
 };
+use fetchmech_frontend::Format;
 
 const BLOCK_BYTES: u64 = 16;
+
+/// Flags every analysis-style subcommand shares (`analyze`, `opt`,
+/// `sanitize`, `frontend`). One parser keeps the surface — and the
+/// machine-model spelling — from drifting between subcommands.
+struct CommonFlags {
+    machine: MachineModel,
+    insts: u64,
+    threads: Option<usize>,
+    disabled: Vec<String>,
+    json: bool,
+}
+
+impl CommonFlags {
+    fn new() -> Self {
+        CommonFlags {
+            machine: MachineModel::p14(),
+            insts: 20_000,
+            threads: None,
+            disabled: Vec::new(),
+            json: false,
+        }
+    }
+
+    /// Consumes `arg` (and its value, if any) when it is a shared flag.
+    /// Returns `Ok(false)` for anything subcommand-specific.
+    fn parse(&mut self, arg: &str, it: &mut std::slice::Iter<'_, String>) -> Result<bool, String> {
+        match arg {
+            "--json" => self.json = true,
+            "--machine" => {
+                let name = it.next().ok_or("--machine needs a model name")?;
+                self.machine = MachineModel::by_name(name)
+                    .ok_or_else(|| format!("unknown machine model {name}"))?;
+            }
+            "--insts" => {
+                let n = it.next().ok_or("--insts needs a count")?;
+                self.insts = n.parse().map_err(|_| format!("bad --insts value {n}"))?;
+            }
+            "--threads" => {
+                let n = it.next().ok_or("--threads needs a count")?;
+                self.threads = Some(n.parse().map_err(|_| format!("bad --threads value {n}"))?);
+            }
+            "--disable" => {
+                let rule = it.next().ok_or("--disable needs a rule id")?;
+                self.disabled.push(rule.clone());
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+}
+
+/// The full suite, for subcommands that default to it.
+fn default_suite() -> Vec<String> {
+    suite::INT_NAMES
+        .iter()
+        .chain(suite::FP_NAMES.iter())
+        .map(ToString::to_string)
+        .collect()
+}
+
+/// The shared `diagnostics` JSON field.
+fn diagnostics_value(diags: &[Diagnostic]) -> Value {
+    Value::Array(
+        diags
+            .iter()
+            .map(|d| {
+                Value::object([
+                    ("rule_id", Value::Str(d.rule_id.to_string())),
+                    ("severity", Value::Str(d.severity.to_string())),
+                    ("location", Value::Str(d.location.to_string())),
+                    ("message", Value::Str(d.message.clone())),
+                ])
+            })
+            .collect(),
+    )
+}
 
 struct Options {
     benchmarks: Vec<String>,
@@ -305,14 +398,10 @@ impl LayoutKind {
 
 struct AnalyzeOptions {
     benchmarks: Vec<String>,
-    machine: MachineModel,
+    common: CommonFlags,
     layout: LayoutKind,
     analyses: Vec<String>,
     measured: bool,
-    insts: u64,
-    threads: Option<usize>,
-    disabled: Vec<String>,
-    json: bool,
 }
 
 impl AnalyzeOptions {
@@ -337,28 +426,21 @@ fn list_analyses() {
 fn parse_analyze_args(args: &[String]) -> Result<Option<AnalyzeOptions>, String> {
     let mut opts = AnalyzeOptions {
         benchmarks: Vec::new(),
-        machine: MachineModel::p14(),
+        common: CommonFlags::new(),
         layout: LayoutKind::Natural,
         analyses: Vec::new(),
         measured: false,
-        insts: 20_000,
-        threads: None,
-        disabled: Vec::new(),
-        json: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
+        if opts.common.parse(arg, &mut it)? {
+            continue;
+        }
         match arg.as_str() {
-            "--json" => opts.json = true,
             "--measured" => opts.measured = true,
             "--list" => {
                 list_analyses();
                 return Ok(None);
-            }
-            "--machine" => {
-                let name = it.next().ok_or("--machine needs a model name")?;
-                opts.machine = MachineModel::by_name(name)
-                    .ok_or_else(|| format!("unknown machine model {name}"))?;
             }
             "--layout" => {
                 let kind = it.next().ok_or("--layout needs a layout kind")?;
@@ -371,18 +453,6 @@ fn parse_analyze_args(args: &[String]) -> Result<Option<AnalyzeOptions>, String>
                     return Err(format!("unknown analysis {name} (see analyze --list)"));
                 }
                 opts.analyses.push(name.clone());
-            }
-            "--insts" => {
-                let n = it.next().ok_or("--insts needs a count")?;
-                opts.insts = n.parse().map_err(|_| format!("bad --insts value {n}"))?;
-            }
-            "--threads" => {
-                let n = it.next().ok_or("--threads needs a count")?;
-                opts.threads = Some(n.parse().map_err(|_| format!("bad --threads value {n}"))?);
-            }
-            "--disable" => {
-                let rule = it.next().ok_or("--disable needs a rule id")?;
-                opts.disabled.push(rule.clone());
             }
             "--help" | "-h" => {
                 println!("{}", analyze_usage());
@@ -398,11 +468,7 @@ fn parse_analyze_args(args: &[String]) -> Result<Option<AnalyzeOptions>, String>
         opts.analyses = ANALYSES.iter().map(|(a, _)| (*a).to_string()).collect();
     }
     if opts.benchmarks.is_empty() {
-        opts.benchmarks = suite::INT_NAMES
-            .iter()
-            .chain(suite::FP_NAMES.iter())
-            .map(ToString::to_string)
-            .collect();
+        opts.benchmarks = default_suite();
     }
     Ok(Some(opts))
 }
@@ -416,12 +482,12 @@ struct AnalyzeReport {
 #[allow(clippy::too_many_lines)] // one linear section per analysis selector
 fn analyze_benchmark(name: &str, opts: &AnalyzeOptions) -> Result<AnalyzeReport, String> {
     let w = suite::benchmark(name).ok_or_else(|| format!("unknown benchmark {name}"))?;
-    let block_bytes = opts.machine.block_bytes;
+    let block_bytes = opts.common.machine.block_bytes;
     let config = TraceSelectConfig::default();
     // A profile feeds both the reordered layout variants and the
     // profile-flow / trace-seed lints under `reach`.
     let profile = (opts.wants("reach") || opts.layout.needs_reorder())
-        .then(|| Profile::collect(&w, &InputId::PROFILE, opts.insts));
+        .then(|| Profile::collect(&w, &InputId::PROFILE, opts.common.insts));
     let reordered = opts
         .layout
         .needs_reorder()
@@ -438,10 +504,14 @@ fn analyze_benchmark(name: &str, opts: &AnalyzeOptions) -> Result<AnalyzeReport,
     }
     .map_err(|e| format!("{name}: {} layout failed: {e}", opts.layout.name()))?;
 
-    let mut human = format!("{name} [{}, {}]:\n", opts.machine.name, opts.layout.name());
+    let mut human = format!(
+        "{name} [{}, {}]:\n",
+        opts.common.machine.name,
+        opts.layout.name()
+    );
     let mut fields: Vec<(&str, Value)> = vec![
         ("benchmark", Value::Str(name.to_string())),
-        ("machine", Value::Str(opts.machine.name.to_string())),
+        ("machine", Value::Str(opts.common.machine.name.to_string())),
         ("layout", Value::Str(opts.layout.name().to_string())),
     ];
     let mut sink = DiagnosticSink::new();
@@ -555,7 +625,7 @@ fn analyze_benchmark(name: &str, opts: &AnalyzeOptions) -> Result<AnalyzeReport,
     }
 
     if opts.wants("geometry") {
-        let report = analyze_geometry(program, &layout, &opts.machine);
+        let report = analyze_geometry(program, &layout, &opts.common.machine);
         human += &format!(
             "  geometry: {} laid block(s), {} cache-line straddle(s)\n",
             report.blocks.len(),
@@ -602,14 +672,14 @@ fn analyze_benchmark(name: &str, opts: &AnalyzeOptions) -> Result<AnalyzeReport,
                 &w
             };
             let trace: Arc<[DynInst]> = exec
-                .executor(&layout, InputId::TEST, opts.insts)
+                .executor(&layout, InputId::TEST, opts.common.insts)
                 .collect::<Vec<_>>()
                 .into();
             let mut eirs = Vec::new();
             let mut measured = Vec::new();
             for scheme in SchemeKind::ALL {
                 let (r, d) =
-                    fetchmech::sanitize::measure_eir_checked(&opts.machine, scheme, &trace);
+                    fetchmech::sanitize::measure_eir_checked(&opts.common.machine, scheme, &trace);
                 extra.extend(d);
                 human += &format!(
                     "    measured {:<12} EIR {:.3} (bound {:.3})\n",
@@ -625,7 +695,7 @@ fn analyze_benchmark(name: &str, opts: &AnalyzeOptions) -> Result<AnalyzeReport,
                 eirs.push(r);
             }
             extra.extend(fetchmech::sanitize::verify_static_bound(
-                &opts.machine,
+                &opts.common.machine,
                 name,
                 program,
                 &layout,
@@ -637,23 +707,8 @@ fn analyze_benchmark(name: &str, opts: &AnalyzeOptions) -> Result<AnalyzeReport,
 
     let mut diags = sink.into_diagnostics();
     diags.extend(extra);
-    diags.retain(|d| !opts.disabled.iter().any(|r| r == d.rule_id));
-    fields.push((
-        "diagnostics",
-        Value::Array(
-            diags
-                .iter()
-                .map(|d| {
-                    Value::object([
-                        ("rule_id", Value::Str(d.rule_id.to_string())),
-                        ("severity", Value::Str(d.severity.to_string())),
-                        ("location", Value::Str(d.location.to_string())),
-                        ("message", Value::Str(d.message.clone())),
-                    ])
-                })
-                .collect(),
-        ),
-    ));
+    diags.retain(|d| !opts.common.disabled.iter().any(|r| r == d.rule_id));
+    fields.push(("diagnostics", diagnostics_value(&diags)));
     Ok(AnalyzeReport {
         human,
         json: Value::object(fields),
@@ -661,25 +716,10 @@ fn analyze_benchmark(name: &str, opts: &AnalyzeOptions) -> Result<AnalyzeReport,
     })
 }
 
-fn analyze_main(args: &[String]) -> ExitCode {
-    let opts = match parse_analyze_args(args) {
-        Ok(Some(opts)) => opts,
-        Ok(None) => return ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("fetchmech-lint: {e}");
-            eprintln!("{}", analyze_usage());
-            return ExitCode::from(2);
-        }
-    };
-    for rule in &opts.disabled {
-        if !rule_id_known(rule) {
-            eprintln!("fetchmech-lint: unknown rule {rule} (see --list / sanitize --list)");
-            return ExitCode::from(2);
-        }
-    }
-    // Benchmarks are independent: fan out, then report in suite order.
-    let runner = Runner::from_flag_or_env(opts.threads);
-    let results = runner.run(&opts.benchmarks, |name| analyze_benchmark(name, &opts));
+/// Shared tail of the report-producing subcommands (`analyze`, `opt`,
+/// `frontend`): print or collect each report, emit the JSON array, fold
+/// failures and error-severity findings into the exit status.
+fn report_main(results: Vec<Result<AnalyzeReport, String>>, json: bool) -> ExitCode {
     let mut objects = Vec::new();
     let mut failed = false;
     let mut any_error = false;
@@ -687,7 +727,7 @@ fn analyze_main(args: &[String]) -> ExitCode {
         match result {
             Ok(report) => {
                 any_error |= fetchmech_analysis::has_errors(&report.diags);
-                if opts.json {
+                if json {
                     objects.push(report.json);
                 } else {
                     print!("{}", report.human);
@@ -702,7 +742,7 @@ fn analyze_main(args: &[String]) -> ExitCode {
             }
         }
     }
-    if opts.json {
+    if json {
         println!("{}", Value::Array(objects).pretty());
     }
     if failed || any_error {
@@ -710,6 +750,28 @@ fn analyze_main(args: &[String]) -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+fn analyze_main(args: &[String]) -> ExitCode {
+    let opts = match parse_analyze_args(args) {
+        Ok(Some(opts)) => opts,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fetchmech-lint: {e}");
+            eprintln!("{}", analyze_usage());
+            return ExitCode::from(2);
+        }
+    };
+    for rule in &opts.common.disabled {
+        if !rule_id_known(rule) {
+            eprintln!("fetchmech-lint: unknown rule {rule} (see --list / sanitize --list)");
+            return ExitCode::from(2);
+        }
+    }
+    // Benchmarks are independent: fan out, then report in suite order.
+    let runner = Runner::from_flag_or_env(opts.common.threads);
+    let results = runner.run(&opts.benchmarks, |name| analyze_benchmark(name, &opts));
+    report_main(results, opts.common.json)
 }
 
 // ---------------------------------------------------------------------------
@@ -721,10 +783,7 @@ fn analyze_main(args: &[String]) -> ExitCode {
 /// include the opt-verify rules) plus the cycle sanitizer catalog.
 fn rule_id_known(rule: &str) -> bool {
     let registry = Registry::with_default_passes();
-    registry
-        .passes()
-        .iter()
-        .any(|p| p.rules().contains(&rule))
+    registry.passes().iter().any(|p| p.rules().contains(&rule))
         || RULES.iter().any(|(r, _)| *r == rule)
 }
 
@@ -750,13 +809,9 @@ const OPT_PASSES: &[(PassKind, &str)] = &[
 
 struct OptOptions {
     benchmarks: Vec<String>,
-    machine: MachineModel,
+    common: CommonFlags,
     passes: Vec<PassKind>,
     verify: bool,
-    insts: u64,
-    threads: Option<usize>,
-    disabled: Vec<String>,
-    json: bool,
 }
 
 fn opt_usage() -> &'static str {
@@ -783,18 +838,16 @@ fn list_opt() {
 fn parse_opt_args(args: &[String]) -> Result<Option<OptOptions>, String> {
     let mut opts = OptOptions {
         benchmarks: Vec::new(),
-        machine: MachineModel::p14(),
+        common: CommonFlags::new(),
         passes: PassKind::ALL.to_vec(),
         verify: false,
-        insts: 20_000,
-        threads: None,
-        disabled: Vec::new(),
-        json: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
+        if opts.common.parse(arg, &mut it)? {
+            continue;
+        }
         match arg.as_str() {
-            "--json" => opts.json = true,
             "--verify" => opts.verify = true,
             "--list" => {
                 list_opt();
@@ -811,23 +864,6 @@ fn parse_opt_args(args: &[String]) -> Result<Option<OptOptions>, String> {
                     })
                     .collect::<Result<_, _>>()?;
             }
-            "--machine" => {
-                let name = it.next().ok_or("--machine needs a model name")?;
-                opts.machine = MachineModel::by_name(name)
-                    .ok_or_else(|| format!("unknown machine model {name}"))?;
-            }
-            "--insts" => {
-                let n = it.next().ok_or("--insts needs a count")?;
-                opts.insts = n.parse().map_err(|_| format!("bad --insts value {n}"))?;
-            }
-            "--threads" => {
-                let n = it.next().ok_or("--threads needs a count")?;
-                opts.threads = Some(n.parse().map_err(|_| format!("bad --threads value {n}"))?);
-            }
-            "--disable" => {
-                let rule = it.next().ok_or("--disable needs a rule id")?;
-                opts.disabled.push(rule.clone());
-            }
             "--help" | "-h" => {
                 println!("{}", opt_usage());
                 return Ok(None);
@@ -839,11 +875,7 @@ fn parse_opt_args(args: &[String]) -> Result<Option<OptOptions>, String> {
         }
     }
     if opts.benchmarks.is_empty() {
-        opts.benchmarks = suite::INT_NAMES
-            .iter()
-            .chain(suite::FP_NAMES.iter())
-            .map(ToString::to_string)
-            .collect();
+        opts.benchmarks = default_suite();
     }
     Ok(Some(opts))
 }
@@ -883,7 +915,7 @@ fn pass_summaries(optimized: &Optimized) -> Vec<(String, Value)> {
 
 fn opt_benchmark(name: &str, opts: &OptOptions) -> Result<AnalyzeReport, String> {
     let w = suite::benchmark(name).ok_or_else(|| format!("unknown benchmark {name}"))?;
-    let profile = Profile::collect(&w, &InputId::PROFILE, opts.insts);
+    let profile = Profile::collect(&w, &InputId::PROFILE, opts.common.insts);
     let optimized = optimize(
         &w.program,
         &profile,
@@ -898,25 +930,25 @@ fn opt_benchmark(name: &str, opts: &OptOptions) -> Result<AnalyzeReport, String>
         program: optimized.program.clone(),
         behaviors: w.behaviors.with_origin(optimized.branch_origin.clone()),
     };
-    let measured = Profile::collect(&w_after, &InputId::PROFILE, opts.insts);
+    let measured = Profile::collect(&w_after, &InputId::PROFILE, opts.common.insts);
     let delta = eir_delta(
         &w.program,
         &profile,
         &optimized,
         Some(&measured),
-        &opts.machine,
+        &opts.common.machine,
     )
     .map_err(|e| format!("{name}: pipeline layout failed: {e}"))?;
 
     let mut human = format!(
         "{name} [{}]: {} -> {} block(s)\n",
-        opts.machine.name,
+        opts.common.machine.name,
         w.program.num_blocks(),
         optimized.program.num_blocks()
     );
     let mut fields: Vec<(&str, Value)> = vec![
         ("benchmark", Value::Str(name.to_string())),
-        ("machine", Value::Str(opts.machine.name.to_string())),
+        ("machine", Value::Str(opts.common.machine.name.to_string())),
         (
             "passes",
             Value::Array(
@@ -979,25 +1011,10 @@ fn opt_benchmark(name: &str, opts: &OptOptions) -> Result<AnalyzeReport, String>
 
     let mut diags = Vec::new();
     if opts.verify {
-        diags = verify_optimized(&w, &profile, &optimized, opts.insts);
-        diags.retain(|d| !opts.disabled.iter().any(|r| r == d.rule_id));
+        diags = verify_optimized(&w, &profile, &optimized, opts.common.insts);
+        diags.retain(|d| !opts.common.disabled.iter().any(|r| r == d.rule_id));
     }
-    fields.push((
-        "diagnostics",
-        Value::Array(
-            diags
-                .iter()
-                .map(|d| {
-                    Value::object([
-                        ("rule_id", Value::Str(d.rule_id.to_string())),
-                        ("severity", Value::Str(d.severity.to_string())),
-                        ("location", Value::Str(d.location.to_string())),
-                        ("message", Value::Str(d.message.clone())),
-                    ])
-                })
-                .collect(),
-        ),
-    ));
+    fields.push(("diagnostics", diagnostics_value(&diags)));
     Ok(AnalyzeReport {
         human,
         json: Value::object(fields),
@@ -1047,44 +1064,15 @@ fn opt_main(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    for rule in &opts.disabled {
+    for rule in &opts.common.disabled {
         if !rule_id_known(rule) {
             eprintln!("fetchmech-lint: unknown rule {rule} (see opt --list)");
             return ExitCode::from(2);
         }
     }
-    let runner = Runner::from_flag_or_env(opts.threads);
+    let runner = Runner::from_flag_or_env(opts.common.threads);
     let results = runner.run(&opts.benchmarks, |name| opt_benchmark(name, &opts));
-    let mut objects = Vec::new();
-    let mut failed = false;
-    let mut any_error = false;
-    for result in results {
-        match result {
-            Ok(report) => {
-                any_error |= fetchmech_analysis::has_errors(&report.diags);
-                if opts.json {
-                    objects.push(report.json);
-                } else {
-                    print!("{}", report.human);
-                    if !report.diags.is_empty() {
-                        print!("{}", report_human(&report.diags));
-                    }
-                }
-            }
-            Err(e) => {
-                eprintln!("fetchmech-lint: {e}");
-                failed = true;
-            }
-        }
-    }
-    if opts.json {
-        println!("{}", Value::Array(objects).pretty());
-    }
-    if failed || any_error {
-        ExitCode::FAILURE
-    } else {
-        ExitCode::SUCCESS
-    }
+    report_main(results, opts.common.json)
 }
 
 // ---------------------------------------------------------------------------
@@ -1093,24 +1081,20 @@ fn opt_main(args: &[String]) -> ExitCode {
 
 struct SanOptions {
     benchmarks: Vec<String>,
-    machine: MachineModel,
-    insts: u64,
-    json: bool,
-    disabled: Vec<String>,
-    threads: Option<usize>,
+    common: CommonFlags,
 }
 
 impl SanOptions {
     fn config(&self) -> SanitizeConfig {
         let mut cfg = SanitizeConfig::new();
-        for rule in &self.disabled {
+        for rule in &self.common.disabled {
             cfg.disable(rule.clone());
         }
         cfg
     }
 
     fn keeps(&self, rule: &str) -> bool {
-        !self.disabled.iter().any(|d| d == rule)
+        !self.common.disabled.iter().any(|d| d == rule)
     }
 }
 
@@ -1129,41 +1113,18 @@ fn list_sanitize_rules() {
 fn parse_sanitize_args(args: &[String]) -> Result<Option<SanOptions>, String> {
     let mut opts = SanOptions {
         benchmarks: Vec::new(),
-        machine: MachineModel::p14(),
-        insts: 20_000,
-        json: false,
-        disabled: Vec::new(),
-        threads: None,
+        common: CommonFlags::new(),
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
+        if opts.common.parse(arg, &mut it)? {
+            continue;
+        }
         match arg.as_str() {
-            "--json" => opts.json = true,
-            "--short" => opts.insts = 4_000,
+            "--short" => opts.common.insts = 4_000,
             "--list" => {
                 list_sanitize_rules();
                 return Ok(None);
-            }
-            "--machine" => {
-                let name = it.next().ok_or("--machine needs a model name")?;
-                opts.machine = match name.as_str() {
-                    "p14" => MachineModel::p14(),
-                    "p18" => MachineModel::p18(),
-                    "p112" => MachineModel::p112(),
-                    other => return Err(format!("unknown machine model {other}")),
-                };
-            }
-            "--insts" => {
-                let n = it.next().ok_or("--insts needs a count")?;
-                opts.insts = n.parse().map_err(|_| format!("bad --insts value {n}"))?;
-            }
-            "--threads" => {
-                let n = it.next().ok_or("--threads needs a count")?;
-                opts.threads = Some(n.parse().map_err(|_| format!("bad --threads value {n}"))?);
-            }
-            "--disable" => {
-                let rule = it.next().ok_or("--disable needs a rule id")?;
-                opts.disabled.push(rule.clone());
             }
             "--help" | "-h" => {
                 println!("{}", sanitize_usage());
@@ -1176,42 +1137,34 @@ fn parse_sanitize_args(args: &[String]) -> Result<Option<SanOptions>, String> {
         }
     }
     if opts.benchmarks.is_empty() {
-        opts.benchmarks = suite::INT_NAMES
-            .iter()
-            .chain(suite::FP_NAMES.iter())
-            .map(ToString::to_string)
-            .collect();
+        opts.benchmarks = default_suite();
     }
     Ok(Some(opts))
 }
 
 fn sanitize_benchmark(name: &str, opts: &SanOptions) -> Result<Vec<Diagnostic>, String> {
+    let machine = &opts.common.machine;
     let w = suite::benchmark(name).ok_or_else(|| format!("unknown benchmark {name}"))?;
-    let layout = Layout::natural(&w.program, LayoutOptions::new(opts.machine.block_bytes))
+    let layout = Layout::natural(&w.program, LayoutOptions::new(machine.block_bytes))
         .map_err(|e| format!("{name}: natural layout failed: {e}"))?;
     let trace: Arc<[DynInst]> = w
-        .executor(&layout, InputId::TEST, opts.insts)
+        .executor(&layout, InputId::TEST, opts.common.insts)
         .collect::<Vec<_>>()
         .into();
     let mut diags = Vec::new();
     // Full pipeline under the sanitizer, once per scheme.
     for scheme in SchemeKind::ALL {
-        let (_result, d) = fetchmech::sanitize::simulate_checked_with(
-            &opts.machine,
-            scheme,
-            &trace,
-            opts.config(),
-        );
+        let (_result, d) =
+            fetchmech::sanitize::simulate_checked_with(machine, scheme, &trace, opts.config());
         diags.extend(d);
     }
     // Fetch-only differential harness + cross-scheme dominance, sharing the
     // same zero-copy trace.
-    let (eirs, d) = fetchmech::sanitize::check_dominance(&opts.machine, name, &trace);
+    let (eirs, d) = fetchmech::sanitize::check_dominance(machine, name, &trace);
     diags.extend(d.into_iter().filter(|d| opts.keeps(d.rule_id)));
     // Static fetch-geometry upper bound: the measured EIRs must stay under
     // what the program + layout + machine alone permit.
-    let d =
-        fetchmech::sanitize::verify_static_bound(&opts.machine, name, &w.program, &layout, &eirs);
+    let d = fetchmech::sanitize::verify_static_bound(machine, name, &w.program, &layout, &eirs);
     diags.extend(d.into_iter().filter(|d| opts.keeps(d.rule_id)));
     Ok(diags)
 }
@@ -1239,7 +1192,7 @@ fn sanitize_main(args: &[String]) -> ExitCode {
         }
     };
     let known: Vec<&str> = RULES.iter().map(|(rule, _)| *rule).collect();
-    for rule in &opts.disabled {
+    for rule in &opts.common.disabled {
         if !known.contains(&rule.as_str()) {
             eprintln!("fetchmech-lint: unknown sanitizer rule {rule} (see sanitize --list)");
             return ExitCode::from(2);
@@ -1247,14 +1200,14 @@ fn sanitize_main(args: &[String]) -> ExitCode {
     }
     // Benchmarks are independent: fan out on the worker pool, then report
     // in suite order so output (and the JSON array) stays deterministic.
-    let runner = Runner::from_flag_or_env(opts.threads);
+    let runner = Runner::from_flag_or_env(opts.common.threads);
     let results = runner.run(&opts.benchmarks, |name| sanitize_benchmark(name, &opts));
     let mut all = Vec::new();
     let mut failed = false;
     for (name, result) in opts.benchmarks.iter().zip(results) {
         match result {
             Ok(diags) => {
-                if !opts.json {
+                if !opts.common.json {
                     let errors = diags
                         .iter()
                         .filter(|d| d.severity == Severity::Error)
@@ -1272,7 +1225,7 @@ fn sanitize_main(args: &[String]) -> ExitCode {
             }
         }
     }
-    if opts.json {
+    if opts.common.json {
         println!("{}", diagnostics_json(&all));
     }
     if failed || all.iter().any(|d| d.severity == Severity::Error) {
@@ -1280,6 +1233,216 @@ fn sanitize_main(args: &[String]) -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+// ---------------------------------------------------------------------------
+// The `frontend` subcommand: lint external (Bril / WAT) programs.
+// ---------------------------------------------------------------------------
+
+struct FrontendOptions {
+    files: Vec<String>,
+    common: CommonFlags,
+    dump: bool,
+    verify: bool,
+}
+
+fn frontend_usage() -> &'static str {
+    "usage: fetchmech-lint frontend [--machine p14|p18|p112] [--insts N] \
+     [--threads N] [--disable RULE]... [--json] [--dump] [--verify] [--list] \
+     FILE..."
+}
+
+fn list_frontend() {
+    println!("formats (picked by file extension):");
+    println!("  bril: Bril-style JSON CFG (.bril.json / .json)");
+    println!("  wat: flat WebAssembly text subset (.wat)");
+    println!("behaviour annotations (Bril `br` fields / WAT `;; @...` comments):");
+    println!("  p=P            Bernoulli taken probability in [0, 1]");
+    println!("  loop=M         geometric loop with mean M trips");
+    println!("  fixed=N        exactly N trips per loop visit");
+    println!("  pattern=BITS:E periodic bit pattern with noise E");
+}
+
+fn parse_frontend_args(args: &[String]) -> Result<Option<FrontendOptions>, String> {
+    let mut opts = FrontendOptions {
+        files: Vec::new(),
+        common: CommonFlags::new(),
+        dump: false,
+        verify: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if opts.common.parse(arg, &mut it)? {
+            continue;
+        }
+        match arg.as_str() {
+            "--dump" => opts.dump = true,
+            "--verify" => opts.verify = true,
+            "--list" => {
+                list_frontend();
+                return Ok(None);
+            }
+            "--help" | "-h" => {
+                println!("{}", frontend_usage());
+                return Ok(None);
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option {other}"));
+            }
+            name => opts.files.push(name.to_string()),
+        }
+    }
+    if opts.files.is_empty() {
+        return Err("frontend needs at least one program file".to_owned());
+    }
+    for file in &opts.files {
+        if Format::for_path(file).is_none() {
+            return Err(format!(
+                "cannot infer a format for {file} (expected .bril.json, .json, or .wat)"
+            ));
+        }
+    }
+    Ok(Some(opts))
+}
+
+/// FNV-1a over a program id — the same seed derivation the experiment
+/// registry uses, so CLI traces match serve-side traces for the same id.
+fn fnv64(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn frontend_file(path: &str, opts: &FrontendOptions) -> Result<AnalyzeReport, String> {
+    let format = Format::for_path(path).expect("extension validated at parse time");
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let lowered = fetchmech_frontend::parse(format, &src).map_err(|e| format!("{path}: {e}"))?;
+    let machine = &opts.common.machine;
+    let id = format!("prog-{:016x}", lowered.fingerprint());
+    let name: &'static str = Box::leak(id.clone().into_boxed_str());
+    let w = Workload {
+        spec: WorkloadSpec::external(name, fnv64(name)),
+        program: lowered.program.clone(),
+        behaviors: lowered.behaviors.clone(),
+    };
+    let layout = Layout::natural(&w.program, LayoutOptions::new(machine.block_bytes))
+        .map_err(|e| format!("{path}: natural layout failed: {e}"))?;
+    let profile = Profile::collect(&w, &InputId::PROFILE, opts.common.insts);
+
+    let mut human = format!(
+        "{path} [{}, {}]: {id}, {} func(s), {} block(s), {} branch(es)\n",
+        format.name(),
+        machine.name,
+        w.program.num_funcs(),
+        w.program.num_blocks(),
+        w.program.num_branches()
+    );
+    let mut fields: Vec<(&str, Value)> = vec![
+        ("file", Value::Str(path.to_string())),
+        ("format", Value::Str(format.name().to_string())),
+        ("id", Value::Str(id.clone())),
+        ("machine", Value::Str(machine.name.to_string())),
+        ("funcs", Value::Uint(w.program.num_funcs() as u64)),
+        ("blocks", Value::Uint(w.program.num_blocks() as u64)),
+        ("branches", Value::Uint(w.program.num_branches() as u64)),
+    ];
+
+    // Default lint rules over the lowered CFG, its natural layout, and a
+    // collected profile (flow conservation included).
+    let registry = Registry::with_default_passes();
+    let mut diags = Vec::new();
+    let targets = [
+        Target::Program(&w.program),
+        Target::Layout {
+            program: &w.program,
+            layout: &layout,
+        },
+        Target::Profile {
+            program: &w.program,
+            profile: &profile,
+            config: None,
+        },
+    ];
+    for target in &targets {
+        diags.extend(registry.run_filtered(target, |_| true));
+    }
+
+    if opts.verify {
+        // Full opt pipeline under translation validation, then one
+        // simulation per fetch scheme over the lowered program.
+        let optimized = optimize(
+            &w.program,
+            &profile,
+            &PassKind::ALL,
+            &OptimizeConfig::default(),
+        );
+        diags.extend(verify_optimized(
+            &w,
+            &profile,
+            &optimized,
+            opts.common.insts,
+        ));
+        human += &format!(
+            "  opt: {} -> {} block(s), translation-validated\n",
+            w.program.num_blocks(),
+            optimized.program.num_blocks()
+        );
+        let mut schemes = Vec::new();
+        for scheme in SchemeKind::ALL {
+            let trace: Vec<DynInst> = w
+                .executor(&layout, InputId::TEST, opts.common.insts)
+                .collect();
+            let r = simulate(machine, scheme, trace);
+            if r.retired == 0 {
+                return Err(format!("{path}: {} retired no instructions", scheme.name()));
+            }
+            human += &format!("    {:<12} EIR {:.3}\n", scheme.name(), r.eir());
+            schemes.push(Value::object([
+                ("scheme", Value::Str(scheme.name().to_string())),
+                ("eir", Value::Num(r.eir())),
+            ]));
+        }
+        fields.push(("schemes", Value::Array(schemes)));
+    }
+
+    if opts.dump {
+        let text = fetchmech_frontend::dump(&lowered);
+        human += &text;
+        fields.push(("dump", Value::Str(text)));
+    }
+
+    diags.retain(|d| !opts.common.disabled.iter().any(|r| r == d.rule_id));
+    fields.push(("diagnostics", diagnostics_value(&diags)));
+    Ok(AnalyzeReport {
+        human,
+        json: Value::object(fields),
+        diags,
+    })
+}
+
+fn frontend_main(args: &[String]) -> ExitCode {
+    let opts = match parse_frontend_args(args) {
+        Ok(Some(opts)) => opts,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fetchmech-lint: {e}");
+            eprintln!("{}", frontend_usage());
+            return ExitCode::from(2);
+        }
+    };
+    for rule in &opts.common.disabled {
+        if !rule_id_known(rule) {
+            eprintln!("fetchmech-lint: unknown rule {rule} (see --list)");
+            return ExitCode::from(2);
+        }
+    }
+    // Files are independent: fan out like the benchmark subcommands do.
+    let runner = Runner::from_flag_or_env(opts.common.threads);
+    let results = runner.run(&opts.files, |path| frontend_file(path, &opts));
+    report_main(results, opts.common.json)
 }
 
 fn main() -> ExitCode {
@@ -1292,6 +1455,9 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("opt") {
         return opt_main(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("frontend") {
+        return frontend_main(&args[1..]);
     }
     let opts = match parse_args(&args) {
         Ok(Some(opts)) => opts,

@@ -17,9 +17,10 @@
 //!   --help              print this help
 //! ```
 //!
-//! Endpoints: `POST /v1/simulate`, `POST /v1/sweep`, `GET /healthz`,
-//! `GET /metrics`. The process runs until SIGINT/SIGTERM, then drains
-//! in-flight work before exiting.
+//! Endpoints: `POST /v1/simulate`, `POST /v1/sweep`, `POST /v1/programs`
+//! (upload a Bril/WAT program, registered under a content-hash id usable
+//! as a bench name), `GET /healthz`, `GET /metrics`. The process runs
+//! until SIGINT/SIGTERM, then drains in-flight work before exiting.
 //!
 //! Deterministic fault injection (chaos testing) is driven by environment:
 //! `FETCHMECH_FAULTS=store_write=0.2,store_short_write=0.3,store_sync=0.1,sim_panic=0.05`

@@ -7,11 +7,12 @@
 
 use std::str::FromStr;
 
-use fetchmech::experiments::LayoutVariant;
+use fetchmech::experiments::{Lab, LayoutVariant};
 use fetchmech::json::Value;
 use fetchmech::pipeline::MachineModel;
 use fetchmech::workloads::suite;
 use fetchmech::{SchemeKind, SimResult};
+use fetchmech_frontend::Format;
 
 use super::engine::SimKey;
 
@@ -52,14 +53,11 @@ pub struct SweepRequest {
     pub deadline_ms: u64,
 }
 
-/// Interns a benchmark name to the suite's `&'static str`, validating it
-/// exists.
-fn intern_bench(name: &str) -> Result<&'static str, String> {
-    suite::INT_NAMES
-        .iter()
-        .chain(suite::FP_NAMES.iter())
-        .find(|&&b| b == name)
-        .copied()
+/// Interns a benchmark name to its `&'static str`, validating it exists —
+/// either a suite benchmark or an uploaded external program registered via
+/// `POST /v1/programs`.
+fn intern_bench(lab: &Lab, name: &str) -> Result<&'static str, String> {
+    lab.intern_name(name)
         .ok_or_else(|| format!("unknown bench {name:?} (see /healthz for the suite)"))
 }
 
@@ -169,7 +167,7 @@ fn parse_layout(name: &str) -> Result<LayoutVariant, String> {
 /// # Errors
 ///
 /// A human-readable validation message, rendered as a structured 400.
-pub fn parse_simulate(body: &[u8], limits: &Limits) -> Result<SimulateRequest, String> {
+pub fn parse_simulate(body: &[u8], limits: &Limits, lab: &Lab) -> Result<SimulateRequest, String> {
     let value = parse_body(body)?;
     let fields = object_fields(
         &value,
@@ -182,10 +180,13 @@ pub fn parse_simulate(body: &[u8], limits: &Limits) -> Result<SimulateRequest, S
             "deadline_ms",
         ],
     )?;
-    let bench = intern_bench(as_str(
-        get(fields, "bench").ok_or("missing required field \"bench\"")?,
-        "bench",
-    )?)?;
+    let bench = intern_bench(
+        lab,
+        as_str(
+            get(fields, "bench").ok_or("missing required field \"bench\"")?,
+            "bench",
+        )?,
+    )?;
     let (machine_name, machine) = match get(fields, "machine") {
         None => resolve_machine("p14")?,
         Some(v) => resolve_machine(as_str(v, "machine")?)?,
@@ -238,7 +239,7 @@ fn string_list<'v>(
 /// # Errors
 ///
 /// A human-readable validation message, rendered as a structured 400.
-pub fn parse_sweep(body: &[u8], limits: &Limits) -> Result<SweepRequest, String> {
+pub fn parse_sweep(body: &[u8], limits: &Limits, lab: &Lab) -> Result<SweepRequest, String> {
     let value = parse_body(body)?;
     let fields = object_fields(
         &value,
@@ -254,7 +255,7 @@ pub fn parse_sweep(body: &[u8], limits: &Limits) -> Result<SweepRequest, String>
     let benches = string_list(fields, "benches")?
         .ok_or("missing required field \"benches\"")?
         .into_iter()
-        .map(intern_bench)
+        .map(|name| intern_bench(lab, name))
         .collect::<Result<Vec<_>, _>>()?;
     let machines = match string_list(fields, "machines")? {
         None => vec![resolve_machine("p14")?],
@@ -306,6 +307,42 @@ pub fn parse_sweep(body: &[u8], limits: &Limits) -> Result<SweepRequest, String>
         }
     }
     Ok(SweepRequest { cells, deadline_ms })
+}
+
+/// A validated `/v1/programs` upload: the declared frontend format plus the
+/// raw program source, ready for `fetchmech_frontend::parse`.
+#[derive(Debug, Clone)]
+pub struct ProgramUpload {
+    /// The declared source format.
+    pub format: Format,
+    /// The program text (Bril JSON or WAT).
+    pub source: String,
+}
+
+/// Parses and validates a `/v1/programs` body: a JSON object with a
+/// `format` tag (`"bril"` or `"wat"`) and the program `source` as a string.
+///
+/// # Errors
+///
+/// A human-readable validation message, rendered as a structured 400.
+pub fn parse_program_upload(body: &[u8]) -> Result<ProgramUpload, String> {
+    let value = parse_body(body)?;
+    let fields = object_fields(&value, &["format", "source"])?;
+    let format_name = as_str(
+        get(fields, "format").ok_or("missing required field \"format\"")?,
+        "format",
+    )?;
+    let format = Format::from_str(format_name)
+        .map_err(|_| format!("unknown format {format_name:?} (expected \"bril\" or \"wat\")"))?;
+    let source = as_str(
+        get(fields, "source").ok_or("missing required field \"source\"")?,
+        "source",
+    )?
+    .to_string();
+    if source.trim().is_empty() {
+        return Err("source must not be empty".to_string());
+    }
+    Ok(ProgramUpload { format, source })
 }
 
 /// Renders one simulation result, echoing the request key so responses are
@@ -363,9 +400,10 @@ pub fn sim_result_json(key: &SimKey, result: &SimResult) -> Value {
 /// The `/healthz` body: liveness plus the vocabulary clients need to build
 /// requests. `store_state` is the persistence tier's health — `"disabled"`
 /// (no store configured), `"active"`, or `"degraded"` (persistence failed;
-/// serving from memory).
+/// serving from memory). `programs` lists the external program ids uploaded
+/// through `POST /v1/programs` this process lifetime, sorted.
 #[must_use]
-pub fn healthz_json(store_state: &str) -> Value {
+pub fn healthz_json(store_state: &str, programs: &[&'static str]) -> Value {
     let benches: Vec<Value> = suite::INT_NAMES
         .iter()
         .chain(suite::FP_NAMES.iter())
@@ -398,5 +436,14 @@ pub fn healthz_json(store_state: &str) -> Value {
         ),
         ("schemes", Value::Array(schemes)),
         ("layouts", Value::Array(layouts)),
+        (
+            "programs",
+            Value::Array(
+                programs
+                    .iter()
+                    .map(|p| Value::Str((*p).to_string()))
+                    .collect(),
+            ),
+        ),
     ])
 }

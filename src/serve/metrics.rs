@@ -20,6 +20,8 @@ pub struct Metrics {
     pub req_simulate: AtomicU64,
     /// `POST /v1/sweep` requests.
     pub req_sweep: AtomicU64,
+    /// `POST /v1/programs` requests (frontend uploads).
+    pub req_programs: AtomicU64,
     /// `GET /healthz` requests.
     pub req_healthz: AtomicU64,
     /// `GET /metrics` requests.
@@ -154,6 +156,7 @@ impl Metrics {
                 Value::object([
                     ("simulate", load(&self.req_simulate)),
                     ("sweep", load(&self.req_sweep)),
+                    ("programs", load(&self.req_programs)),
                     ("healthz", load(&self.req_healthz)),
                     ("metrics", load(&self.req_metrics)),
                     ("other", load(&self.req_other)),

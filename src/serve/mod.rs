@@ -10,7 +10,8 @@
 //! * [`engine`] — the coalescing job engine: identical in-flight requests
 //!   share one computation; deadlines cancel queued work cooperatively.
 //! * [`api`] — request validation and response rendering for
-//!   `POST /v1/simulate` and `POST /v1/sweep`.
+//!   `POST /v1/simulate`, `POST /v1/sweep`, and `POST /v1/programs`
+//!   (frontend program uploads, registered under content-hash ids).
 //! * [`metrics`] — counters and latency histograms behind `GET /metrics`.
 //!
 //! Admission control is explicit: when the bounded queue is full the
@@ -430,7 +431,8 @@ impl Handler {
         match (request.method.as_str(), request.path.as_str()) {
             ("GET", "/healthz") => {
                 metrics.req_healthz.fetch_add(1, Ordering::Relaxed);
-                Response::json(200, &api::healthz_json(self.store_state()))
+                let programs = self.shared.lab.external_names();
+                Response::json(200, &api::healthz_json(self.store_state(), &programs))
             }
             ("GET", "/metrics") => {
                 metrics.req_metrics.fetch_add(1, Ordering::Relaxed);
@@ -449,6 +451,10 @@ impl Handler {
                 let resp = self.handle_sweep(&request.body);
                 metrics.record_latency(t0.elapsed());
                 resp
+            }
+            ("POST", "/v1/programs") => {
+                metrics.req_programs.fetch_add(1, Ordering::Relaxed);
+                self.handle_programs(&request.body)
             }
             ("GET" | "POST", _) => {
                 metrics.req_other.fetch_add(1, Ordering::Relaxed);
@@ -501,8 +507,54 @@ impl Handler {
         )
     }
 
+    /// `POST /v1/programs`: parse + lower an uploaded frontend program and
+    /// register it in the lab under its content-hash id. Registration is
+    /// idempotent — re-uploading the same program (under either format) with
+    /// the same lowered form returns the same id with `registered: false`,
+    /// and every simulate/sweep/store path then accepts the id as a bench
+    /// name.
+    fn handle_programs(&self, body: &[u8]) -> Response {
+        let upload = match api::parse_program_upload(body) {
+            Ok(upload) => upload,
+            Err(why) => return Response::error(400, "invalid_request", why),
+        };
+        let lowered = match fetchmech_frontend::parse(upload.format, &upload.source) {
+            Ok(lowered) => lowered,
+            Err(e) => return Response::error(400, "invalid_program", e.to_string()),
+        };
+        let id = format!("prog-{:016x}", lowered.fingerprint());
+        let stats = Value::object([
+            ("funcs", Value::Uint(lowered.program.num_funcs() as u64)),
+            ("blocks", Value::Uint(lowered.program.num_blocks() as u64)),
+            (
+                "branches",
+                Value::Uint(u64::from(lowered.program.num_branches())),
+            ),
+        ]);
+        let registered = if self.shared.lab.intern_name(&id).is_some() {
+            false
+        } else {
+            match self
+                .shared
+                .lab
+                .register_external(&id, lowered.program, lowered.behaviors)
+            {
+                Ok(_) => true,
+                Err(why) => return Response::error(429, "registry_full", why).with_retry_after(1),
+            }
+        };
+        Response::json(
+            200,
+            &Value::object([
+                ("id", Value::Str(id)),
+                ("registered", Value::Bool(registered)),
+                ("stats", stats),
+            ]),
+        )
+    }
+
     fn handle_simulate(&self, body: &[u8]) -> Response {
-        let req = match api::parse_simulate(body, &self.limits) {
+        let req = match api::parse_simulate(body, &self.limits, &self.shared.lab) {
             Ok(req) => req,
             Err(why) => return Response::error(400, "invalid_request", why),
         };
@@ -532,7 +584,7 @@ impl Handler {
     }
 
     fn handle_sweep(&self, body: &[u8]) -> Response {
-        let req = match api::parse_sweep(body, &self.limits) {
+        let req = match api::parse_sweep(body, &self.limits, &self.shared.lab) {
             Ok(req) => req,
             Err(why) => return Response::error(400, "invalid_request", why),
         };

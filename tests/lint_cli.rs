@@ -131,6 +131,76 @@ fn analyze_list_includes_the_ssa_analysis() {
 }
 
 #[test]
+fn frontend_clean_examples_exit_zero() {
+    // Integration tests run with the package root as cwd, so the checked-in
+    // examples are reachable relatively. One Bril and one WAT program,
+    // through parse -> lower -> lint -> dump.
+    let out = lint(&[
+        "frontend",
+        "--insts",
+        "2000",
+        "--dump",
+        "examples/programs/loopmix.bril.json",
+        "examples/programs/kernel.wat",
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(exit_code(&out), 0, "stdout:\n{stdout}\nstderr:\n{stderr}");
+    // Content-hash program ids and dumped labels are in the report.
+    assert!(stdout.contains("prog-"), "{stdout}");
+    assert!(stdout.contains("main.outer:"), "{stdout}");
+}
+
+#[test]
+fn frontend_bad_program_exits_one() {
+    let dir = std::env::temp_dir().join("fetchmech-lint-cli-test");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let bad = dir.join("bad.bril.json");
+    std::fs::write(&bad, r#"{"functions": []}"#).expect("write bad program");
+    let out = lint(&["frontend", bad.to_str().expect("utf-8 path")]);
+    assert_eq!(exit_code(&out), 1);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("must not be empty"), "{stderr}");
+}
+
+#[test]
+fn frontend_usage_errors_exit_two() {
+    // No files at all.
+    let out = lint(&["frontend"]);
+    assert_eq!(exit_code(&out), 2);
+    // Unrecognized extension: the format cannot be inferred.
+    let out = lint(&["frontend", "program.txt"]);
+    assert_eq!(exit_code(&out), 2);
+    assert!(String::from_utf8_lossy(&out.stderr).contains("program.txt"));
+    // Unknown rule id in --disable (parity with the other subcommands,
+    // via the shared flag parser).
+    let out = lint(&[
+        "frontend",
+        "--disable",
+        "no.such.rule",
+        "examples/programs/kernel.wat",
+    ]);
+    assert_eq!(exit_code(&out), 2);
+    // Unknown machine model, also via the shared flag parser.
+    let out = lint(&[
+        "frontend",
+        "--machine",
+        "p99",
+        "examples/programs/kernel.wat",
+    ]);
+    assert_eq!(exit_code(&out), 2);
+}
+
+#[test]
+fn frontend_list_names_both_formats() {
+    let out = lint(&["frontend", "--list"]);
+    assert_eq!(exit_code(&out), 0);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("bril"), "{stdout}");
+    assert!(stdout.contains("wat"), "{stdout}");
+}
+
+#[test]
 fn unknown_benchmark_exits_one() {
     let out = lint(&["sanitize", "--short", "no-such-benchmark"]);
     assert_eq!(exit_code(&out), 1);

@@ -89,6 +89,86 @@ proptest! {
     }
 }
 
+// ---- json ----------------------------------------------------------------
+
+use fetchmech::json::{self, Value};
+
+/// Strings over the full scalar-value range, including control characters
+/// (exercises `\uXXXX` escaping) and astral-plane code points.
+fn arb_json_string() -> BoxedStrategy<String> {
+    proptest::collection::vec(0u32..0x11_0000, 0..6)
+        .prop_map(|cs| cs.into_iter().filter_map(char::from_u32).collect())
+        .boxed()
+}
+
+fn arb_json_leaf() -> BoxedStrategy<Value> {
+    prop_oneof![
+        Just(Value::Null),
+        (0u32..2).prop_map(|b| Value::Bool(b == 1)).boxed(),
+        (0u64..u64::MAX).prop_map(Value::Uint).boxed(),
+        (i64::MIN..0i64).prop_map(Value::Int).boxed(),
+        (-1e300f64..1e300).prop_map(Value::Num).boxed(),
+        arb_json_string().prop_map(Value::Str).boxed(),
+    ]
+    .boxed()
+}
+
+/// Bounded-depth recursive JSON documents. Object keys get an index suffix
+/// so they are always distinct — the parser now rejects duplicates.
+fn arb_json(depth: u32) -> BoxedStrategy<Value> {
+    if depth == 0 {
+        return arb_json_leaf();
+    }
+    let inner = arb_json(depth - 1);
+    prop_oneof![
+        arb_json_leaf(),
+        proptest::collection::vec(arb_json(depth - 1), 0..4)
+            .prop_map(Value::Array)
+            .boxed(),
+        (arb_json_string(), proptest::collection::vec(inner, 0..4))
+            .prop_map(|(prefix, vals)| {
+                Value::Object(
+                    vals.into_iter()
+                        .enumerate()
+                        .map(|(i, v)| (format!("{prefix}{i}"), v))
+                        .collect(),
+                )
+            })
+            .boxed(),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `render ∘ parse` is a fixed point on rendered documents. (Value-level
+    /// equality would be too strong: `Num(2.0)` renders as `2`, which
+    /// reparses as `Uint(2)` — same document, different tag.)
+    #[test]
+    fn json_render_parse_is_a_fixed_point(v in arb_json(3)) {
+        let rendered = v.render();
+        let reparsed = json::parse(&rendered).expect("rendered JSON must reparse");
+        prop_assert_eq!(reparsed.render(), rendered.clone());
+        let pretty = v.pretty();
+        let from_pretty = json::parse(&pretty).expect("pretty JSON must reparse");
+        prop_assert_eq!(from_pretty.render(), rendered);
+    }
+
+    /// The parser never panics and never loops on arbitrary short inputs —
+    /// it either produces a value or an error with an in-bounds position.
+    #[test]
+    fn json_parse_is_total_on_arbitrary_bytes(s in arb_json_string()) {
+        match json::parse(&s) {
+            Ok(v) => {
+                let r = v.render();
+                prop_assert_eq!(json::parse(&r).expect("reparse").render(), r);
+            }
+            Err(e) => prop_assert!(e.pos <= s.len()),
+        }
+    }
+}
+
 // ---- random workloads ----------------------------------------------------
 
 fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {

@@ -361,6 +361,151 @@ fn repeated_sweeps_hit_the_lab_cache_and_stay_deterministic() {
     server.shutdown();
 }
 
+/// Renders a `/v1/programs` upload body through the server's own JSON
+/// encoder, so the source text is escaped correctly.
+fn upload_body(format: &str, source: &str) -> String {
+    Value::object([
+        ("format", Value::Str(format.to_string())),
+        ("source", Value::Str(source.to_string())),
+    ])
+    .pretty()
+}
+
+#[test]
+fn program_upload_validation_errors() {
+    let server = Server::start(test_config()).expect("server start");
+    let addr = server.addr();
+
+    // Missing fields and unknown formats are request-level 400s.
+    let (status, body) = http(addr, "POST", "/v1/programs", "{}");
+    assert_eq!(status, 400, "missing format must 400: {body}");
+    let (status, body) = http(addr, "POST", "/v1/programs", &upload_body("elf", "x"));
+    assert_eq!(status, 400, "unknown format must 400: {body}");
+    let err = parse(&body).expect("400 body is JSON");
+    assert_eq!(
+        err.get("error").and_then(Value::as_str),
+        Some("invalid_request")
+    );
+
+    // A well-formed request carrying a bad program is a *program*-level 400
+    // with the frontend's diagnostic text.
+    let (status, body) = http(
+        addr,
+        "POST",
+        "/v1/programs",
+        &upload_body("bril", "{\"functions\": []}"),
+    );
+    assert_eq!(status, 400, "empty module must 400: {body}");
+    let err = parse(&body).expect("400 body is JSON");
+    assert_eq!(
+        err.get("error").and_then(Value::as_str),
+        Some("invalid_program")
+    );
+    assert!(
+        err.get("detail")
+            .and_then(Value::as_str)
+            .is_some_and(|m| m.contains("must not be empty")),
+        "diagnostic text must survive to the client: {body}"
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn uploaded_program_sweeps_end_to_end_and_survives_restart() {
+    let store = std::env::temp_dir().join(format!(
+        "fetchmech-serve-programs-{}.log",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&store);
+    let config = || ServeConfig {
+        store_path: Some(store.clone()),
+        ..test_config()
+    };
+    let wat = include_str!("../examples/programs/kernel.wat");
+    let upload = upload_body("wat", wat);
+
+    let (id, first_sweep, sweep_req);
+    {
+        let server = Server::start(config()).expect("server start");
+        let addr = server.addr();
+
+        let (status, body) = http(addr, "POST", "/v1/programs", &upload);
+        assert_eq!(status, 200, "upload failed: {body}");
+        let doc = parse(&body).expect("upload response is JSON");
+        id = doc
+            .get("id")
+            .and_then(Value::as_str)
+            .expect("upload response has an id")
+            .to_string();
+        assert!(id.starts_with("prog-"), "content-hash id: {id}");
+        assert_eq!(doc.get("registered").and_then(Value::as_bool), Some(true));
+
+        // Idempotent: the same source maps to the same id, not a duplicate.
+        let (status, body) = http(addr, "POST", "/v1/programs", &upload);
+        assert_eq!(status, 200);
+        let doc = parse(&body).expect("re-upload response is JSON");
+        assert_eq!(doc.get("id").and_then(Value::as_str), Some(id.as_str()));
+        assert_eq!(doc.get("registered").and_then(Value::as_bool), Some(false));
+
+        // The id joins the /healthz vocabulary.
+        let (status, health) = http(addr, "GET", "/healthz", "");
+        assert_eq!(status, 200);
+        let health = parse(&health).expect("healthz JSON");
+        assert!(
+            health
+                .get("programs")
+                .and_then(Value::as_array)
+                .is_some_and(|ps| ps.iter().any(|p| p.as_str() == Some(&id))),
+            "healthz must list the uploaded program"
+        );
+
+        // Sweep the uploaded program across every fetch scheme, through the
+        // exact machinery the suite benchmarks use.
+        sweep_req = format!("{{\"benches\": [\"{id}\"], \"insts\": 1200}}");
+        let (status, sweep) = http(addr, "POST", "/v1/sweep", &sweep_req);
+        assert_eq!(status, 200, "sweep failed: {sweep}");
+        let doc = parse(&sweep).expect("sweep body is JSON");
+        assert_eq!(
+            doc.get("jobs").and_then(Value::as_u64),
+            Some(SchemeKind::ALL.len() as u64)
+        );
+        first_sweep = sweep;
+
+        wait_for(addr, "all results persisted", |m| {
+            metric_u64(m, "store", "persisted") >= SchemeKind::ALL.len() as u64
+        });
+        server.shutdown();
+    }
+
+    // Restart: the registry is per-process, so the id is unknown until the
+    // client re-uploads — after which the store serves the original bytes
+    // without enqueueing a single job.
+    let server = Server::start(config()).expect("server restart");
+    let addr = server.addr();
+    let (status, body) = http(addr, "POST", "/v1/sweep", &sweep_req);
+    assert_eq!(
+        status, 400,
+        "unregistered id must 400 after restart: {body}"
+    );
+    let (status, body) = http(addr, "POST", "/v1/programs", &upload);
+    assert_eq!(status, 200, "re-upload failed: {body}");
+    let (status, second_sweep) = http(addr, "POST", "/v1/sweep", &sweep_req);
+    assert_eq!(status, 200);
+    assert_eq!(
+        first_sweep, second_sweep,
+        "restart must serve byte-identical sweep results from the store"
+    );
+    let m = metrics(addr);
+    assert_eq!(
+        metric_u64(&m, "jobs", "enqueued"),
+        0,
+        "restart sweep must be resolved entirely from the store"
+    );
+    server.shutdown();
+    let _ = std::fs::remove_file(&store);
+}
+
 #[test]
 fn stalled_and_half_closed_clients_cannot_pin_workers() {
     // Tight socket timeouts and only two connection slots: if a stalled
